@@ -1,0 +1,46 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each benchmark runs its experiment exactly once (the workload is a
+deterministic simulation; repeating it measures Python, not the system),
+prints the paper-style table through pytest's terminal reporter so it
+survives output capture (and lands in ``bench_output.txt``), and appends
+it to ``benchmarks/results.txt``.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_FILE = pathlib.Path(__file__).parent / "results.txt"
+
+
+def pytest_sessionstart(session):
+    RESULTS_FILE.write_text("")
+
+
+@pytest.fixture
+def emit(request):
+    """Print past pytest's capture and persist to benchmarks/results.txt."""
+    reporter = request.config.pluginmanager.get_plugin("terminalreporter")
+
+    def _emit(text: str) -> None:
+        if reporter is not None:
+            reporter.ensure_newline()
+            reporter.write_line("")
+            for line in text.splitlines():
+                reporter.write_line(line)
+        with RESULTS_FILE.open("a") as handle:
+            handle.write(text + "\n\n")
+
+    return _emit
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,21 @@
+"""Section V-D-2 ablation: the locking-granularity conflict model."""
+
+from repro.harness import format_table
+from repro.harness.experiments import conflict_model
+
+
+def test_conflict_model(run_once, emit):
+    result = run_once(conflict_model)
+    emit(format_table(result["title"], result["headers"], result["rows"]))
+    m = result["metrics"]
+
+    # Conflicts grow monotonically with lock coarseness (the paper's
+    # conclusion from the balls-into-bins analysis).
+    series = [m[f"analytic/{l}"] for l in (1, 2, 4, 8, 16, 32, 64)]
+    assert series == sorted(series)
+    assert series[-1] > 10 * max(series[0], 0.05)
+
+    # The analytic model agrees with Monte-Carlo simulation.
+    for l in (1, 4, 16, 64):
+        analytic, simulated = m[f"analytic/{l}"], m[f"simulated/{l}"]
+        assert abs(analytic - simulated) <= max(0.15, 0.1 * analytic), l

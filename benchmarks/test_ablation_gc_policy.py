@@ -1,0 +1,21 @@
+"""Ablation: GC victim-selection policy (DESIGN.md design choice)."""
+
+from repro.harness import format_table
+from repro.harness.ablations import gc_policy_ablation
+
+
+def test_gc_policy_ablation(run_once, emit):
+    result = run_once(gc_policy_ablation)
+    emit(format_table(result["title"], result["headers"], result["rows"]))
+    m = result["metrics"]
+
+    # Every policy keeps the device usable under churn.
+    for name in ("greedy", "cost-benefit", "wear-aware"):
+        assert m[f"erased/{name}"] > 0, name
+        assert m[f"write-amp/{name}"] < 3.0, name
+
+    # KAML's wear-aware policy keeps the erase spread at least as tight
+    # as the alternatives (Section IV-E's wear-leveling goal).
+    wear_spread = m["wear-spread/wear-aware"]
+    assert wear_spread <= m["wear-spread/greedy"] + 1
+    assert wear_spread <= m["wear-spread/cost-benefit"]

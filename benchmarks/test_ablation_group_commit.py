@@ -1,0 +1,16 @@
+"""Ablation: WAL group commit in the baseline engine (Section V-D-1's
+centralized-logging bottleneck, isolated)."""
+
+from repro.harness import format_table
+from repro.harness.ablations import group_commit_ablation
+
+
+def test_group_commit_ablation(run_once, emit):
+    result = run_once(group_commit_ablation)
+    emit(format_table(result["title"], result["headers"], result["rows"]))
+    m = result["metrics"]
+
+    # Group commit amortizes fsyncs across concurrent committers...
+    assert m["fsyncs/group commit"] < m["fsyncs/fsync per commit"]
+    # ...and buys throughput.
+    assert m["tps/group commit"] > 1.1 * m["tps/fsync per commit"]

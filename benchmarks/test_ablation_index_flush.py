@@ -1,0 +1,27 @@
+"""Ablations: mapping-table structure and the NVRAM flush timer."""
+
+from repro.harness import format_table
+from repro.harness.ablations import flush_timer_ablation, index_structure_ablation
+
+
+def test_index_structure_ablation(run_once, emit):
+    result = run_once(index_structure_ablation)
+    emit(format_table(result["title"], result["headers"], result["rows"]))
+    m = result["metrics"]
+
+    # Hash structures beat the sorted table on point lookups — the cost
+    # a namespace pays for range-scan support (Section IV-C flexibility).
+    assert m["mb_s/bucket"] > m["mb_s/sorted"]
+    assert m["mb_s/open"] > m["mb_s/sorted"]
+    # All structures deliver working Get service.
+    for structure in ("bucket", "open", "sorted"):
+        assert m[f"mb_s/{structure}"] > 0
+
+
+def test_flush_timer_ablation(run_once, emit):
+    result = run_once(flush_timer_ablation)
+    emit(format_table(result["title"], result["headers"], result["rows"]))
+    m = result["metrics"]
+
+    # Longer timers coalesce trickled records into fewer, fuller pages.
+    assert m["pages/200.0"] > m["pages/1000.0"] > m["pages/5000.0"]

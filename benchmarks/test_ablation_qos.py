@@ -1,0 +1,15 @@
+"""Ablation: namespace-to-log QoS isolation (Section IV-B)."""
+
+from repro.harness import format_table
+from repro.harness.ablations import qos_isolation_ablation
+
+
+def test_qos_isolation(run_once, emit):
+    result = run_once(qos_isolation_ablation)
+    emit(format_table(result["title"], result["headers"], result["rows"]))
+    m = result["metrics"]
+
+    # Partitioning the logs shields the latency-sensitive tenant from the
+    # neighbor's write flood, especially in the tail.
+    assert m["mean/partitioned"] < 0.8 * m["mean/shared"]
+    assert m["p95/partitioned"] < 0.6 * m["p95/shared"]

@@ -1,0 +1,21 @@
+"""Figure 10 / Table III: YCSB throughput — KAML vs Shore-MT."""
+
+from repro.harness import format_table
+from repro.harness.experiments import fig10_ycsb
+
+
+def test_fig10_ycsb(run_once, emit):
+    result = run_once(fig10_ycsb)
+    emit(format_table(result["title"], result["headers"], result["rows"]))
+    m = result["metrics"]
+
+    # KAML wins every workload (paper: 1.1x - 3.0x, average 2.3x).
+    speedups = [m[f"speedup/{w}"] for w in ("a", "b", "c", "d", "f")]
+    for workload, speedup in zip(("a", "b", "c", "d", "f"), speedups):
+        assert speedup > 1.0, workload
+    average = sum(speedups) / len(speedups)
+    assert 1.2 < average < 4.0
+
+    # The most write-intensive mix (A, 50% updates) gains more than the
+    # read-only mix (C) — the paper's write-vs-read observation.
+    assert m["speedup/a"] > m["speedup/c"]

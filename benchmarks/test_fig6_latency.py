@@ -1,0 +1,30 @@
+"""Figure 6: Get/Put vs read/write latency (single-threaded)."""
+
+from repro.harness import format_table
+from repro.harness.experiments import fig6_latency
+
+
+def test_fig6_latency(run_once, emit):
+    result = run_once(fig6_latency, ops=25)
+    emit(format_table(result["title"], result["headers"], result["rows"]))
+    m = result["metrics"]
+
+    # Fig 6a: Get has almost the same latency as read.
+    for size in (512, 1024, 2048, 4096):
+        assert 0.8 < m[f"get/{size}"] / m[f"read/{size}"] < 1.2
+
+    # Hardware dominates Get latency (paper: 98%).
+    assert m["get-hw-share/512"] > 0.95
+
+    # Fig 6b: small-update Put is a small fraction of write (paper: 20%).
+    assert m["put-upd/512"] < 0.3 * m["write-upd/512"]
+    # write's latency collapses at 4 KB (no more read-modify-write)...
+    assert m["write-upd/4096"] < 0.5 * m["write-upd/512"]
+    # ...leaving Put and write comparable at 4 KB.
+    assert m["put-upd/4096"] < 1.2 * m["write-upd/4096"]
+
+    # Fig 6c: small-insert Put latency sits below write (paper: 63-75%).
+    ratio_small = m["put-ins/512"] / m["write-ins/512"]
+    assert 0.4 < ratio_small < 0.9
+    # At 4 KB the hash-insert cost makes Put slower (paper: 2.9x).
+    assert m["put-ins/4096"] > 1.5 * m["write-ins/4096"]

@@ -1,0 +1,21 @@
+"""Figure 7: effect of Put batch size on throughput and population time."""
+
+from repro.harness import format_table
+from repro.harness.experiments import fig7_batch
+
+
+def test_fig7_batch(run_once, emit):
+    result = run_once(fig7_batch)
+    emit(format_table(result["title"], result["headers"], result["rows"]))
+    m = result["metrics"]
+
+    # Batching 1 -> 4 lifts update record throughput (paper: 1.2-1.3x).
+    gain = m["update/4"] / m["update/1"]
+    assert gain > 1.1
+
+    # Larger batches populate an empty namespace to load factor 0.7
+    # faster (paper: 40% less time).
+    assert m["populate/4"] < 0.7 * m["populate/1"]
+    # Monotonic improvement across the sweep.
+    times = [m[f"populate/{batch}"] for batch in (1, 2, 4, 8)]
+    assert times == sorted(times, reverse=True)

@@ -1,0 +1,16 @@
+"""Figure 8: Put bandwidth vs number of logs."""
+
+from repro.harness import format_table
+from repro.harness.experiments import fig8_multilog
+
+
+def test_fig8_multilog(run_once, emit):
+    result = run_once(fig8_multilog)
+    emit(format_table(result["title"], result["headers"], result["rows"]))
+    m = result["metrics"]
+
+    # Bandwidth grows monotonically with the number of logs...
+    assert m["logs/16"] < m["logs/32"] < m["logs/64"]
+    # ...by a large factor 16 -> 64 (paper: 5.8x; our simulated
+    # controller saturates around 3.5-4x — see EXPERIMENTS.md).
+    assert m["logs/64"] > 2.5 * m["logs/16"]

@@ -1,0 +1,27 @@
+"""Figure 9: OLTP throughput — KAML vs Shore-MT, lock granularity."""
+
+from repro.harness import format_table
+from repro.harness.experiments import fig9_oltp
+
+
+def test_fig9_oltp(run_once, emit):
+    result = run_once(fig9_oltp)
+    emit(format_table(result["title"], result["headers"], result["rows"]))
+    m = result["metrics"]
+
+    # KAML (record locks) beats Shore-MT with record locks on every
+    # workload (paper: 4.0x TPC-B, 1.1x NewOrder, 2.0x Payment).
+    assert m["tpcb/KAML rpl=1"] > 1.5 * m["tpcb/Shore-MT record"]
+    assert m["neworder/KAML rpl=1"] > 1.0 * m["neworder/Shore-MT record"]
+    assert m["payment/KAML rpl=1"] > 1.2 * m["payment/Shore-MT record"]
+
+    # Coarse locks hurt KAML (paper: up to 47% drop at 16 records/lock).
+    assert m["tpcb/KAML rpl=16"] < 0.95 * m["tpcb/KAML rpl=1"]
+
+    # A colder cache costs KAML throughput but it still beats Shore-MT
+    # (the paper runs hit ratios 0.8 and 1.0).
+    assert m["tpcb/KAML rpl=1 hit~0.8"] < m["tpcb/KAML rpl=1"]
+    assert m["tpcb/KAML rpl=1 hit~0.8"] > m["tpcb/Shore-MT record"]
+
+    # Page locks hurt Shore-MT badly (paper: up to 80% drop).
+    assert m["tpcb/Shore-MT page"] < 0.7 * m["tpcb/Shore-MT record"]

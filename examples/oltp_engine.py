@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The caching layer as a database storage engine: TPC-B (Section V-D).
+
+Uses the Table II transactional API directly — begin, read, update,
+insert, commit — to run TPC-B AccountUpdate transactions with full
+isolation, then demonstrates that the money invariant holds and shows
+the effect of lock granularity (1 vs 16 records per lock).
+
+Run:  python examples/oltp_engine.py
+"""
+
+from repro.harness import build_kaml_store, format_kv
+from repro.workloads import KamlAdapter, TpcB
+
+BRANCHES = 2
+ACCOUNTS = 300
+THREADS = 8
+TXNS = 15
+
+
+def run(records_per_lock: int):
+    env, ssd, store = build_kaml_store(
+        cache_bytes=16 << 20, records_per_lock=records_per_lock
+    )
+    adapter = KamlAdapter(store)
+    tpcb = TpcB(env, adapter, branches=BRANCHES, accounts_per_branch=ACCOUNTS)
+    tpcb.setup()
+    result = tpcb.run(threads=THREADS, txns_per_thread=TXNS)
+
+    # Consistency check: the sum of account balances in each branch must
+    # equal the branch's balance (every delta is applied to both).
+    def audit():
+        mismatches = 0
+        for branch in range(BRANCHES):
+            total = 0
+            for account in range(ACCOUNTS):
+                value = yield from store.get(
+                    adapter.namespace_of("account"),
+                    tpcb.account_key(branch, account),
+                )
+                total += value or 0
+            branch_balance = yield from store.get(
+                adapter.namespace_of("branch"), branch
+            )
+            if total != (branch_balance or 0):
+                mismatches += 1
+        return mismatches
+
+    proc = env.process(audit())
+    env.run()
+    mismatches = proc.value
+
+    print(format_kv(f"TPC-B AccountUpdate, {records_per_lock} record(s)/lock", {
+        "transactions": result.transactions,
+        "throughput tps": result.tps,
+        "mean latency us": result.mean_latency_us,
+        "deadlock aborts": result.aborts,
+        "branch invariant violations": mismatches,
+    }))
+    assert mismatches == 0, "isolation failure!"
+    return result.tps
+
+
+def main() -> None:
+    fine = run(records_per_lock=1)
+    print()
+    coarse = run(records_per_lock=16)
+    print(f"\ncoarse locks cost {100 * (1 - coarse / fine):.0f}% of throughput "
+          f"(the paper measures a drop of up to 47% for 16 records/lock)")
+
+
+if __name__ == "__main__":
+    main()

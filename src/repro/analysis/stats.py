@@ -1,0 +1,39 @@
+"""Latency/throughput summarisation for benchmark reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    count: int
+    mean_us: float
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    min_us: float
+    max_us: float
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def summarize(latencies_us: Sequence[float]) -> LatencySummary:
+    values = sorted(latencies_us)
+    if not values:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return LatencySummary(
+        count=len(values),
+        mean_us=sum(values) / len(values),
+        p50_us=_percentile(values, 0.50),
+        p95_us=_percentile(values, 0.95),
+        p99_us=_percentile(values, 0.99),
+        min_us=values[0],
+        max_us=values[-1],
+    )

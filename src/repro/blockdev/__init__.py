@@ -1,0 +1,5 @@
+"""The baseline block device: NVMe read/write over a conventional page FTL."""
+
+from repro.blockdev.nvme import NvmeBlockDevice
+
+__all__ = ["NvmeBlockDevice"]

@@ -1,0 +1,62 @@
+"""NVMe-style block interface over the conventional page FTL.
+
+This is the reference firmware's host-visible surface (Section V-A): block
+``read``/``write`` commands addressed by logical page, carried over the
+PCIe link, executed by :class:`~repro.ftl.page_ftl.PageFtl`.  Commands of
+less than a logical page are legal; sub-page writes take the FTL's
+read-modify-write path.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.config import ReproConfig
+from repro.flash import FlashArray
+from repro.ftl.page_ftl import LOGICAL_PAGE, PageFtl
+from repro.sim import Environment
+from repro.ssd import FirmwarePool, HostInterconnect, NvramBuffer
+
+
+class NvmeBlockDevice:
+    """Host-facing block device: ``read``/``write`` by logical page number."""
+
+    def __init__(self, env: Environment, config: ReproConfig):
+        self.env = env
+        self.config = config
+        self.array = FlashArray(env, config.geometry, config.flash)
+        self.firmware = FirmwarePool(env, config.resources.firmware_contexts)
+        self.nvram = NvramBuffer(env, config.resources.nvram_bytes)
+        self.link = HostInterconnect(env, config.interconnect)
+        self.ftl = PageFtl(env, config, self.array, self.firmware, self.nvram)
+
+    @property
+    def logical_pages(self) -> int:
+        return self.ftl.logical_pages
+
+    @property
+    def logical_page_size(self) -> int:
+        return LOGICAL_PAGE
+
+    def precondition(self) -> None:
+        """Fill every LBA with synthetic data (paper's setup, Section V-A)."""
+        self.ftl.precondition()
+
+    # -- timed host commands (drive with ``yield from``) -------------------
+
+    def read(self, lpn: int, nbytes: int = LOGICAL_PAGE) -> Any:
+        """NVMe read: returns the logical page's current payload."""
+        yield from self.link.command_overhead()
+        data = yield from self.ftl.read(lpn, nbytes)
+        yield from self.link.device_to_host(nbytes)
+        return data
+
+    def write(self, lpn: int, data: Any, nbytes: int = LOGICAL_PAGE) -> Any:
+        """NVMe write: returns once the data is durable in the device."""
+        yield from self.link.command_overhead()
+        yield from self.link.host_to_device(nbytes)
+        yield from self.ftl.write(lpn, data, nbytes)
+
+    def drain(self) -> Any:
+        """Push any buffered writes to flash (test/shutdown helper)."""
+        yield from self.ftl.flush()

@@ -1,0 +1,45 @@
+"""Simulated NAND flash substrate.
+
+Models the flash array of the KAML prototyping board (Section IV-A): 16
+channels of 4 chips, page-granularity reads/programs, block-granularity
+erases, a shared data bus per channel, and per-block erase wear.  All
+operations are timed simulation subroutines intended for ``yield from``
+inside firmware processes.
+"""
+
+from repro.config import FlashGeometry
+from repro.flash.address import PagePointer, ChunkPointer
+from repro.flash.errors import (
+    FlashError,
+    ProgramError,
+    ProgramOrderError,
+    ReadError,
+    EraseError,
+    WearOutError,
+    AddressError,
+)
+from repro.flash.page import FlashPage, PageState
+from repro.flash.block import FlashBlock, BlockState
+from repro.flash.chip import FlashChip
+from repro.flash.channel import FlashChannel
+from repro.flash.array import FlashArray
+
+__all__ = [
+    "FlashGeometry",
+    "PagePointer",
+    "ChunkPointer",
+    "FlashError",
+    "ProgramError",
+    "ProgramOrderError",
+    "ReadError",
+    "EraseError",
+    "WearOutError",
+    "AddressError",
+    "FlashPage",
+    "PageState",
+    "FlashBlock",
+    "BlockState",
+    "FlashChip",
+    "FlashChannel",
+    "FlashArray",
+]

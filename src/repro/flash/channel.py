@@ -1,0 +1,84 @@
+"""A flash channel: several chips behind one shared data bus."""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.config import FlashGeometry, FlashTimings
+from repro.flash.chip import FlashChip
+from repro.flash.errors import AddressError
+from repro.sim import Environment, Resource
+
+
+class FlashChannel:
+    """Chips share the channel's control/data lines (Section IV-A).
+
+    Reads/programs on different chips overlap in their cell phases, but
+    only one chip can move data over the bus at a time — that contention is
+    what caps per-channel bandwidth and what multiple logs per channel
+    exploit (Figure 8).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        geometry: FlashGeometry,
+        timings: FlashTimings,
+        index: int = 0,
+    ):
+        self.env = env
+        self.geometry = geometry
+        self.timings = timings
+        self.index = index
+        self.chips: List[FlashChip] = [
+            FlashChip(env, geometry, timings, name=f"ch{index}.chip{i}")
+            for i in range(geometry.chips_per_channel)
+        ]
+        self.bus = Resource(env, capacity=1, name=f"ch{index}.bus")
+        self.bus_busy_us = 0.0
+
+    def chip(self, chip_index: int) -> FlashChip:
+        if not 0 <= chip_index < len(self.chips):
+            raise AddressError(f"chip index {chip_index} out of range")
+        return self.chips[chip_index]
+
+    def transfer_time(self, nbytes: int) -> float:
+        return self.timings.bus_command_us + nbytes / self.timings.bus_bytes_per_us
+
+    def transfer(self, nbytes: int) -> Any:
+        """Occupy the bus long enough to move ``nbytes``."""
+        request = self.bus.request()
+        yield request
+        try:
+            started = self.env.now
+            yield self.env.timeout(self.transfer_time(nbytes))
+            self.bus_busy_us += self.env.now - started
+        finally:
+            self.bus.release(request)
+
+    # -- whole commands ----------------------------------------------------
+
+    def read_page(self, chip_index: int, block_index: int, page_index: int,
+                  transfer_bytes: int = None) -> Any:
+        """Cell read on the chip, then bus transfer toward the controller."""
+        chip = self.chip(chip_index)
+        result = yield from chip.read_cells(block_index, page_index)
+        nbytes = self.geometry.page_size if transfer_bytes is None else transfer_bytes
+        yield from self.transfer(nbytes)
+        return result
+
+    def program_page(self, chip_index: int, block_index: int, page_index: int,
+                     data: Any, oob: Any = None) -> Any:
+        """Bus transfer toward the chip, then the program operation.
+
+        The bus is released before the (long) program phase, letting other
+        chips in the channel stream data meanwhile — the interleaving that
+        makes many logs per channel pay off (Figure 8).
+        """
+        chip = self.chip(chip_index)
+        yield from self.transfer(self.geometry.page_size)
+        yield from chip.program_cells(block_index, page_index, data, oob)
+
+    def erase_block(self, chip_index: int, block_index: int) -> Any:
+        chip = self.chip(chip_index)
+        yield from chip.erase(block_index)

@@ -1,0 +1,98 @@
+"""A flash chip (die): one command engine over many blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.config import FlashGeometry, FlashTimings
+from repro.flash.block import FlashBlock
+from repro.flash.errors import AddressError
+from repro.sim import Environment, Resource
+
+
+@dataclass
+class ChipStats:
+    reads: int = 0
+    programs: int = 0
+    erases: int = 0
+    busy_us: float = 0.0
+
+
+class FlashChip:
+    """A die that executes one read/program/erase at a time.
+
+    Chips within a channel can operate in parallel, but the channel's data
+    bus (owned by :class:`~repro.flash.channel.FlashChannel`) serializes
+    data transfers (Section IV-A).  The chip itself is a capacity-1 resource:
+    callers hold it for the cell-operation portion of each command.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        geometry: FlashGeometry,
+        timings: FlashTimings,
+        name: str = "chip",
+    ):
+        self.env = env
+        self.geometry = geometry
+        self.timings = timings
+        self.name = name
+        self.blocks = [FlashBlock(geometry) for _ in range(geometry.blocks_per_chip)]
+        self.engine = Resource(env, capacity=1, name=f"{name}.engine")
+        self.stats = ChipStats()
+
+    def block(self, block_index: int) -> FlashBlock:
+        if not 0 <= block_index < len(self.blocks):
+            raise AddressError(f"block index {block_index} out of range")
+        return self.blocks[block_index]
+
+    # -- timed operations (drive with ``yield from``) ---------------------
+
+    def read_cells(self, block_index: int, page_index: int) -> Any:
+        """Cell array -> page register.  Holds the chip engine for t_R."""
+        block = self.block(block_index)
+        request = self.engine.request()
+        yield request
+        try:
+            started = self.env.now
+            yield self.env.timeout(self.timings.read_us)
+            self.stats.reads += 1
+            self.stats.busy_us += self.env.now - started
+            return block.read(page_index)
+        finally:
+            self.engine.release(request)
+
+    def program_cells(self, block_index: int, page_index: int, data: Any, oob: Any) -> Any:
+        """Page register -> cell array.  Holds the chip engine for t_PROG.
+
+        The state mutation happens *before* the delay so that concurrent
+        allocators observe the write pointer move immediately; the timing
+        cost is still paid in full.
+        """
+        block = self.block(block_index)
+        request = self.engine.request()
+        yield request
+        try:
+            block.program(page_index, data, oob)
+            started = self.env.now
+            yield self.env.timeout(self.timings.program_us)
+            self.stats.programs += 1
+            self.stats.busy_us += self.env.now - started
+        finally:
+            self.engine.release(request)
+
+    def erase(self, block_index: int) -> Any:
+        """Erase a whole block.  Holds the chip engine for t_BERS."""
+        block = self.block(block_index)
+        request = self.engine.request()
+        yield request
+        try:
+            started = self.env.now
+            yield self.env.timeout(self.timings.erase_us)
+            self.stats.erases += 1
+            self.stats.busy_us += self.env.now - started
+            block.erase()
+        finally:
+            self.engine.release(request)

@@ -1,0 +1,29 @@
+"""Flash error hierarchy."""
+
+
+class FlashError(Exception):
+    """Base class for flash-level failures."""
+
+
+class AddressError(FlashError):
+    """A physical address is outside the array geometry."""
+
+
+class ReadError(FlashError):
+    """Reading an erased (never programmed) page."""
+
+
+class ProgramError(FlashError):
+    """Programming a page that is not erased (no in-place update)."""
+
+
+class ProgramOrderError(FlashError):
+    """Pages within a block must be programmed sequentially (Section II-A)."""
+
+
+class EraseError(FlashError):
+    """Erase issued against a bad block."""
+
+
+class WearOutError(FlashError):
+    """A block exceeded its erase endurance and became unreliable."""

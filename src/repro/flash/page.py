@@ -1,0 +1,51 @@
+"""A single flash page with its out-of-band (OOB) region."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Tuple
+
+from repro.flash.errors import ProgramError, ReadError
+
+
+class PageState(enum.Enum):
+    ERASED = "erased"
+    PROGRAMMED = "programmed"
+
+
+class FlashPage:
+    """Stores an arbitrary payload plus OOB metadata.
+
+    The simulator carries Python objects instead of raw bytes; timing and
+    space accounting use the geometry's page size, so payloads never affect
+    simulated performance.  Pages are immutable once programmed until their
+    block is erased (Section II-A).
+    """
+
+    __slots__ = ("state", "_data", "_oob")
+
+    def __init__(self) -> None:
+        self.state = PageState.ERASED
+        self._data: Any = None
+        self._oob: Any = None
+
+    @property
+    def is_erased(self) -> bool:
+        return self.state is PageState.ERASED
+
+    def program(self, data: Any, oob: Any = None) -> None:
+        if self.state is not PageState.ERASED:
+            raise ProgramError("program on a non-erased page (in-place update)")
+        self.state = PageState.PROGRAMMED
+        self._data = data
+        self._oob = oob
+
+    def read(self) -> Tuple[Any, Any]:
+        if self.state is PageState.ERASED:
+            raise ReadError("read of an erased page")
+        return self._data, self._oob
+
+    def erase(self) -> None:
+        self.state = PageState.ERASED
+        self._data = None
+        self._oob = None

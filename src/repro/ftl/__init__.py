@@ -1,0 +1,32 @@
+"""Flash translation layers.
+
+:mod:`repro.ftl` holds the pieces shared by the baseline block device and
+the KAML firmware: mapping structures (a flat LBA array and the open-
+addressing hash table KAML uses per namespace), garbage-collection victim
+policies, and the conventional page-level FTL that backs the NVMe block
+interface the paper compares against.
+"""
+
+from repro.ftl.mapping import BucketedHashIndex, DirectMap, HashIndex, IndexFullError, SortedIndex
+from repro.ftl.gc_policy import (
+    GcCandidate,
+    GreedyPolicy,
+    CostBenefitPolicy,
+    WearAwarePolicy,
+)
+from repro.ftl.page_ftl import PageFtl, FtlError, OutOfSpaceError
+
+__all__ = [
+    "BucketedHashIndex",
+    "DirectMap",
+    "HashIndex",
+    "IndexFullError",
+    "SortedIndex",
+    "GcCandidate",
+    "GreedyPolicy",
+    "CostBenefitPolicy",
+    "WearAwarePolicy",
+    "PageFtl",
+    "FtlError",
+    "OutOfSpaceError",
+]

@@ -1,0 +1,86 @@
+"""Garbage-collection victim-selection policies.
+
+KAML "selects blocks to clean that have low erase counts and small amounts
+of valid data" (Section IV-E) — :class:`WearAwarePolicy`.  The classic
+greedy and cost-benefit policies are provided as ablation baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class GcCandidate:
+    """A cleanable block as the policy sees it."""
+
+    token: object          # opaque block identity for the caller
+    valid_bytes: int
+    erase_count: int
+    age_us: float = 0.0    # time since the block was written full
+
+
+class GreedyPolicy:
+    """Minimize relocation work: pick the block with the least valid data."""
+
+    name = "greedy"
+
+    def choose(self, candidates: Sequence[GcCandidate]) -> Optional[GcCandidate]:
+        if not candidates:
+            return None
+        return min(candidates, key=lambda c: (c.valid_bytes, c.erase_count))
+
+
+class CostBenefitPolicy:
+    """LFS-style cost-benefit: benefit = age * (1 - u) / (1 + u)."""
+
+    name = "cost-benefit"
+
+    def __init__(self, block_bytes: int):
+        if block_bytes <= 0:
+            raise ValueError("block_bytes must be positive")
+        self.block_bytes = block_bytes
+
+    def choose(self, candidates: Sequence[GcCandidate]) -> Optional[GcCandidate]:
+        if not candidates:
+            return None
+
+        def benefit(candidate: GcCandidate) -> float:
+            utilization = min(1.0, candidate.valid_bytes / self.block_bytes)
+            return (1.0 + candidate.age_us) * (1.0 - utilization) / (1.0 + utilization)
+
+        return max(candidates, key=benefit)
+
+
+class WearAwarePolicy:
+    """KAML's policy: low erase count *and* little valid data (Section IV-E).
+
+    Both terms are normalised against the candidate pool and combined; the
+    weight slightly favours relocation cost, with erase count as the
+    wear-leveling tie-breaker that "spreads erases evenly across blocks".
+    """
+
+    name = "wear-aware"
+
+    def __init__(self, valid_weight: float = 0.7, wear_weight: float = 0.3):
+        if valid_weight < 0 or wear_weight < 0:
+            raise ValueError("weights must be non-negative")
+        if valid_weight + wear_weight == 0:
+            raise ValueError("at least one weight must be positive")
+        self.valid_weight = valid_weight
+        self.wear_weight = wear_weight
+
+    def choose(self, candidates: Sequence[GcCandidate]) -> Optional[GcCandidate]:
+        if not candidates:
+            return None
+        max_valid = max(c.valid_bytes for c in candidates) or 1
+        max_erase = max(c.erase_count for c in candidates) or 1
+
+        def score(candidate: GcCandidate) -> float:
+            return (
+                self.valid_weight * candidate.valid_bytes / max_valid
+                + self.wear_weight * candidate.erase_count / max_erase
+            )
+
+        return min(candidates, key=score)

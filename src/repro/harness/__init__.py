@@ -1,0 +1,22 @@
+"""Experiment harness: stack builders, table formatting, and one entry
+point per figure of the paper's evaluation (Section V)."""
+
+from repro.harness.runner import (
+    build_block_device,
+    build_kaml_ssd,
+    build_kaml_store,
+    build_shore_engine,
+)
+from repro.harness.reporting import format_table, format_kv
+from repro.harness import ablations, experiments
+
+__all__ = [
+    "ablations",
+    "build_block_device",
+    "build_kaml_ssd",
+    "build_kaml_store",
+    "build_shore_engine",
+    "format_table",
+    "format_kv",
+    "experiments",
+]

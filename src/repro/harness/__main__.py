@@ -1,0 +1,66 @@
+"""Command-line experiment runner.
+
+Regenerate any figure of the paper from a shell::
+
+    python -m repro.harness fig5          # bandwidth sweep (Figure 5)
+    python -m repro.harness fig9 fig10    # several in one go
+    python -m repro.harness all           # the full evaluation
+    python -m repro.harness --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import ablations, experiments, format_table
+
+EXPERIMENTS = {
+    "fig5": (experiments.fig5_bandwidth, "Get/Put vs read/write bandwidth"),
+    "fig6": (experiments.fig6_latency, "Get/Put vs read/write latency"),
+    "fig7": (experiments.fig7_batch, "effect of Put batch size"),
+    "fig8": (experiments.fig8_multilog, "Put bandwidth vs number of logs"),
+    "fig9": (experiments.fig9_oltp, "OLTP throughput (TPC-B, TPC-C)"),
+    "fig10": (experiments.fig10_ycsb, "YCSB throughput"),
+    "conflicts": (experiments.conflict_model, "lock-granularity conflict model"),
+    "gc-policy": (ablations.gc_policy_ablation, "ablation: GC victim policy"),
+    "index": (ablations.index_structure_ablation, "ablation: mapping-table structure"),
+    "flush-timer": (ablations.flush_timer_ablation, "ablation: NVRAM flush timer"),
+    "group-commit": (ablations.group_commit_ablation, "ablation: WAL group commit"),
+    "qos": (ablations.qos_isolation_ablation, "ablation: namespace/log isolation"),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Reproduce the KAML paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figures", nargs="*",
+        help=f"which experiments to run: {', '.join(EXPERIMENTS)} or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.figures:
+        for name, (_func, description) in EXPERIMENTS.items():
+            print(f"{name:10} {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if "all" in args.figures else args.figures
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment: {name!r} (see --list)", file=sys.stderr)
+            return 2
+        func, _description = EXPERIMENTS[name]
+        started = time.time()
+        result = func()
+        print(format_table(result["title"], result["headers"], result["rows"]))
+        print(f"[{name} finished in {time.time() - started:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

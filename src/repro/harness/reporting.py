@@ -1,0 +1,39 @@
+"""Plain-text tables for experiment output (paper-style rows/series)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:,.0f}"
+        if value >= 1:
+            return f"{value:,.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width text table with a title rule."""
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rendered)) if rendered
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_kv(title: str, pairs: Dict[str, Any]) -> str:
+    lines = [title, "=" * len(title)]
+    width = max(len(k) for k in pairs) if pairs else 0
+    for key, value in pairs.items():
+        lines.append(f"{key.ljust(width)}  {_render(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,359 @@
+"""The in-storage append logs (Sections IV-B, IV-E).
+
+Each log owns one flash target (a chip behind a channel) and manages its
+blocks as an append-only stream of record-packed pages.  A page fills in a
+non-volatile buffer (records are already durable in NVRAM when they arrive
+here) and is programmed when full or when the flush timer expires.  GC
+runs per log: victims are chosen by low erase count and low valid bytes,
+pages are parsed via the OOB bitmap, and still-valid records are
+re-appended through a dedicated GC write point.
+
+The log knows nothing about namespaces; validity checks and index updates
+go through the hooks the :class:`~repro.kaml.ssd.KamlSsd` provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.config import ReproConfig
+from repro.flash import FlashArray, PagePointer, WearOutError
+from repro.ftl.gc_policy import GcCandidate, WearAwarePolicy
+from repro.kaml.record import PageAssembly, Record, RecordLocation, RecordTooLargeError
+from repro.sim import Environment, Event, Gate, SimLock
+
+
+class LogSpaceError(Exception):
+    """A log ran out of blocks and GC could not reclaim any."""
+
+
+@dataclass
+class _WritePoint:
+    """An open page being assembled (user or GC stream)."""
+
+    assembly: PageAssembly
+    waiters: List[Tuple[int, Record, Event]] = field(default_factory=list)
+    generation: int = 0
+
+
+@dataclass
+class LogStats:
+    appended_records: int = 0
+    programmed_pages: int = 0
+    gc_relocated_records: int = 0
+    gc_erased_blocks: int = 0
+    wasted_chunks: int = 0  # trailing chunks lost when a record didn't fit
+    retired_blocks: int = 0  # blocks that exceeded erase endurance
+
+
+class KamlLog:
+    """One append log on one flash target."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: ReproConfig,
+        array: FlashArray,
+        log_id: int,
+        channel: int,
+        chip: int,
+        hooks: Any,
+    ):
+        self.env = env
+        self.config = config
+        self.array = array
+        self.log_id = log_id
+        self.channel = channel
+        self.chip = chip
+        self.hooks = hooks
+        self.geometry = config.geometry
+        self.params = config.kaml
+        self.gc_policy = WearAwarePolicy()
+        self.stats = LogStats()
+        self.free: List[int] = list(range(self.geometry.blocks_per_chip))
+        self.full: List[int] = []
+        self._active: Dict[bool, Optional[int]] = {False: None, True: None}  # for_gc -> block
+        self._active_wp: Dict[bool, int] = {False: 0, True: 0}
+        self._points: Dict[bool, _WritePoint] = {
+            False: _WritePoint(self._new_assembly()),
+            True: _WritePoint(self._new_assembly()),
+        }
+        self._program_lock = SimLock(env, name=f"log{log_id}.program")
+        self.space_gate = Gate(env, name=f"log{log_id}.space")
+        self.gc_running = False
+        #: Bumped by crash recovery; in-flight processes from before the
+        #: crash notice the change and die without touching state.
+        self.epoch = 0
+
+    def _new_assembly(self) -> PageAssembly:
+        return PageAssembly(self.geometry.chunks_per_page, self.geometry.chunk_size)
+
+    @property
+    def block_capacity_bytes(self) -> int:
+        return self.geometry.pages_per_block * self.geometry.page_size
+
+    def block_key(self, block_index: int) -> Tuple[int, int, int]:
+        return (self.channel, self.chip, block_index)
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def append(self, record: Record) -> Any:
+        """Append one record; returns its :class:`RecordLocation` once the
+        containing page is programmed (Put phase 2, Section IV-D)."""
+        event = self._stage(record, for_gc=False)
+        location = yield event
+        return location
+
+    def _stage(self, record: Record, for_gc: bool) -> Event:
+        """Synchronously place a record into the open page; returns the
+        event that fires with its location after the program completes."""
+        point = self._points[for_gc]
+        nchunks = record.chunks(self.geometry.chunk_size)
+        if nchunks > self.geometry.chunks_per_page:
+            raise RecordTooLargeError(
+                f"record of {record.size} B exceeds one page"
+            )
+        if not point.assembly.fits(record):
+            self.stats.wasted_chunks += point.assembly.free_chunks
+            self._launch_flush(for_gc)
+            point = self._points[for_gc]
+        was_empty = point.assembly.is_empty
+        start = point.assembly.add(record)
+        event = self.env.event()
+        point.waiters.append((start, record, event))
+        self.stats.appended_records += 1
+        if point.assembly.free_chunks == 0:
+            self._launch_flush(for_gc)
+        elif was_empty:
+            self.env.process(self._flush_timer(for_gc, point.generation))
+        return event
+
+    def _launch_flush(self, for_gc: bool) -> None:
+        point = self._points[for_gc]
+        if point.assembly.is_empty:
+            return
+        assembly, waiters = point.assembly, point.waiters
+        self._points[for_gc] = _WritePoint(self._new_assembly(), generation=point.generation + 1)
+        self.env.process(self._flush_process(assembly, waiters, for_gc))
+
+    def _flush_timer(self, for_gc: bool, generation: int) -> Any:
+        """Program a partially filled page after a timeout (Section IV-B)."""
+        yield self.env.timeout(self.params.flush_timeout_us)
+        point = self._points[for_gc]
+        if point.generation == generation and not point.assembly.is_empty:
+            # Timer flushes pad out the page: the free tail is wasted.
+            self.stats.wasted_chunks += point.assembly.free_chunks
+            self._launch_flush(for_gc)
+
+    def _flush_process(self, assembly: PageAssembly, waiters, for_gc: bool) -> Any:
+        epoch = self.epoch
+        yield self._program_lock.acquire(owner=("flush", for_gc))
+        held = True
+        try:
+            while True:
+                if self.epoch != epoch:
+                    return  # ghost flush from before a crash
+                pointer = self._try_allocate(for_gc)
+                if pointer is not None:
+                    break
+                if not self.gc_running:
+                    error = LogSpaceError(
+                        f"log {self.log_id} is full and nothing is reclaimable"
+                    )
+                    for _start, _record, event in waiters:
+                        event.fail(error)
+                    return
+                self._program_lock.release()
+                held = False
+                yield self.space_gate.wait()
+                yield self._program_lock.acquire(owner=("flush-retry", for_gc))
+                held = True
+            data = {}
+            start_cursor = 0
+            for record in assembly.records:
+                data[start_cursor] = record
+                start_cursor += record.chunks(self.geometry.chunk_size)
+            yield from self.array.program_page(pointer, data, oob=assembly.bitmap())
+            self.stats.programmed_pages += 1
+        finally:
+            if held:
+                self._program_lock.release()
+        if self.epoch != epoch:
+            # A crash hit while this page was programming: the page is a
+            # torn write the mapping tables never point at.
+            return
+        for start, record, event in waiters:
+            event.succeed(
+                RecordLocation(
+                    page=pointer,
+                    chunk=start,
+                    nchunks=record.chunks(self.geometry.chunk_size),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Block allocation
+    # ------------------------------------------------------------------
+
+    def _try_allocate(self, for_gc: bool) -> Optional[PagePointer]:
+        """Next programmable page for a stream, or None if blocks must be
+        reclaimed first.  Never yields; called under the program lock."""
+        active = self._active[for_gc]
+        if active is not None and self._active_wp[for_gc] < self.geometry.pages_per_block:
+            page_index = self._active_wp[for_gc]
+            self._active_wp[for_gc] += 1
+            return PagePointer(self.channel, self.chip, active, page_index)
+        if active is not None:
+            self.full.append(active)
+            self._active[for_gc] = None
+        reserve = 0 if for_gc else 1
+        if len(self.free) > reserve:
+            self.free.sort(key=lambda b: self._chip().block(b).erase_count)
+            block = self.free.pop(0)
+            self._active[for_gc] = block
+            self._active_wp[for_gc] = 0
+            self._maybe_start_gc()
+            return self._try_allocate(for_gc)
+        self._maybe_start_gc()
+        return None
+
+    def _chip(self):
+        return self.array.chip(self.channel, self.chip)
+
+    # ------------------------------------------------------------------
+    # Garbage collection (Section IV-E)
+    # ------------------------------------------------------------------
+
+    def _maybe_start_gc(self) -> None:
+        if self.gc_running:
+            return
+        if len(self.free) >= self.params.gc_free_block_threshold:
+            return
+        if not self.full:
+            return
+        # Don't spin up a GC pass that cannot reclaim anything: a stuck
+        # flush would otherwise restart it in a zero-time livelock.
+        if not any(self._gc_feasible(c) for c in self._gc_candidates()):
+            return
+        self.gc_running = True
+        self.env.process(self._gc_process())
+
+    def _gc_candidates(self) -> List[GcCandidate]:
+        chip = self._chip()
+        return [
+            GcCandidate(
+                token=block_index,
+                valid_bytes=self.hooks.valid_bytes(self.block_key(block_index)),
+                erase_count=chip.block(block_index).erase_count,
+            )
+            for block_index in self.full
+        ]
+
+    def _gc_process(self) -> Any:
+        epoch = self.epoch
+        try:
+            while len(self.free) < self.params.gc_restore_target:
+                if self.epoch != epoch:
+                    return  # crashed meanwhile
+                candidates = [
+                    c for c in self._gc_candidates() if self._gc_feasible(c)
+                ]
+                victim = self.gc_policy.choose(candidates)
+                if victim is None:
+                    break
+                block_index = victim.token
+                self.full.remove(block_index)
+                yield from self._clean_block(block_index)
+                if self.epoch != epoch:
+                    return
+                block_key = self.block_key(block_index)
+                yield from self.hooks.wait_unpinned(block_key)
+                try:
+                    yield from self.array.erase_block(
+                        PagePointer(self.channel, self.chip, block_index, 0)
+                    )
+                except WearOutError:
+                    # The block exceeded its endurance: retire it.  Its
+                    # survivors were already relocated; capacity shrinks
+                    # by one block and the log carries on (Section II-A's
+                    # "limited number of erase operations").
+                    self.stats.retired_blocks += 1
+                    self.hooks.block_erased(block_key)
+                    continue
+                self.stats.gc_erased_blocks += 1
+                self.hooks.block_erased(block_key)
+                self.free.append(block_index)
+                self.space_gate.fire()
+        finally:
+            self.gc_running = False
+            # Wake any flush that was waiting so it can re-check state.
+            self.space_gate.fire()
+
+    def _gc_feasible(self, candidate: GcCandidate) -> bool:
+        """Can the victim's survivors fit in the pages GC can reach?
+
+        Prevents the GC stream from wedging mid-victim with nowhere to
+        put relocated records.  Cleaning must also net at least a page.
+        """
+        if candidate.valid_bytes >= self.block_capacity_bytes - self.geometry.page_size:
+            return False
+        required_pages = -(-candidate.valid_bytes // self.geometry.page_size)
+        gc_active = self._active[True]
+        available = len(self.free) * self.geometry.pages_per_block
+        if gc_active is not None:
+            available += self.geometry.pages_per_block - self._active_wp[True]
+        return required_pages <= available
+
+    def _clean_block(self, block_index: int) -> Any:
+        """Relocate every still-valid record out of a victim block."""
+        chip = self._chip()
+        block = chip.block(block_index)
+        survivors: List[Tuple[Record, RecordLocation]] = []
+        for page_index in range(block.programmed_pages):
+            pointer = PagePointer(self.channel, self.chip, block_index, page_index)
+            data, bitmap = yield from self.array.read_page(pointer)
+            for start, record in data.items():
+                location = RecordLocation(
+                    page=pointer,
+                    chunk=start,
+                    nchunks=record.chunks(self.geometry.chunk_size),
+                )
+                if self.hooks.is_valid(record, location):
+                    survivors.append((record, location))
+        if not survivors:
+            return
+        staged = []
+        for record, old_location in survivors:
+            event = self._stage(record, for_gc=True)
+            staged.append((event, record, old_location))
+        self._launch_flush(for_gc=True)
+        for event, record, old_location in staged:
+            new_location = yield event
+            if self.hooks.relocate(record, old_location, new_location):
+                self.stats.gc_relocated_records += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self.free)
+
+    def force_flush(self) -> None:
+        """Push any open pages toward flash (test/shutdown helper)."""
+        self._launch_flush(for_gc=False)
+        self._launch_flush(for_gc=True)
+
+    def reset_write_points(self) -> None:
+        """Drop open-page state after a simulated crash; the records are
+        still staged in NVRAM and will be replayed (Section IV-D)."""
+        self.epoch += 1
+        for for_gc in (False, True):
+            point = self._points[for_gc]
+            self._points[for_gc] = _WritePoint(
+                self._new_assembly(), generation=point.generation + 1
+            )

@@ -1,0 +1,696 @@
+"""The KAML SSD firmware front-end (Sections III-A, IV).
+
+Implements Table I — ``CreateNamespace`` / ``DeleteNamespace`` / ``Get`` /
+``Put`` — plus a ``Delete`` extension, namespace retargeting, index
+swapping, and crash recovery from the NVRAM staging buffers.
+
+``Put`` follows the paper's two-phase protocol (Section IV-D):
+
+1. The batch is transferred over PCIe and pinned in battery-backed NVRAM;
+   the firmware probes/reserves each key's index entry and stages the
+   batch in the NVRAM write cache.  The command is now *logically
+   committed* and the host is acknowledged.
+2. Records are appended to logs (one flash program per packed page).
+3. The firmware installs the new physical addresses in the mapping
+   tables, adjusts valid-byte accounting, and frees NVRAM.
+
+Phases 2–3 run in a background process; the host-visible latency is
+phase 1 — which is why small ``Put`` latency beats block ``write``
+(Figure 6b) even though flash programs are slow.
+
+Where the paper says the firmware "locks" index entries across all three
+phases, this implementation orders concurrent same-key Puts by a version
+assigned at phase 1 and serves acknowledged-but-uninstalled values from
+the NVRAM staging area.  The observable semantics are identical (atomic,
+ordered, read-after-ack), but hot keys are not rate-limited to one
+update per flash-program, which the paper's sustained YCSB-zipfian
+throughput implies their firmware avoids too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+
+from repro.config import ReproConfig
+from repro.flash import FlashArray
+from repro.kaml.log import KamlLog
+from repro.kaml.namespace import Namespace, NamespaceAttributes, NamespaceError
+from repro.kaml.record import Record, RecordLocation, RecordTooLargeError, chunks_for
+from repro.kaml.snapshot import Snapshot, SnapshotError, clone_index
+from repro.sim import Environment, Gate, Process
+from repro.ssd import FirmwarePool, HostInterconnect, NvramBuffer, OnboardDram
+
+
+class KamlError(Exception):
+    """Command-level failure on the KAML SSD."""
+
+
+class PutItem(NamedTuple):
+    """One element of a (possibly multi-record) atomic ``Put`` (Table I)."""
+
+    namespace_id: int
+    key: int
+    value: Any
+    size: int
+
+
+#: Sentinel for staged deletions in the NVRAM write cache.
+_DELETED = object()
+
+
+class KamlStats:
+    def __init__(self) -> None:
+        self.gets = 0
+        self.puts = 0
+        self.put_records = 0
+        self.deletes = 0
+        self.recovered_batches = 0
+
+
+class KamlSsd:
+    """A key-addressable, multi-log SSD."""
+
+    def __init__(self, env: Environment, config: ReproConfig):
+        config.geometry.validate()
+        if config.kaml.num_logs > config.geometry.total_chips:
+            raise KamlError(
+                f"num_logs={config.kaml.num_logs} exceeds the "
+                f"{config.geometry.total_chips} flash targets"
+            )
+        self.env = env
+        self.config = config
+        self.geometry = config.geometry
+        self.costs = config.firmware
+        self.array = FlashArray(env, config.geometry, config.flash)
+        self.firmware = FirmwarePool(env, config.resources.firmware_contexts)
+        self.nvram = NvramBuffer(env, config.resources.nvram_bytes)
+        self.link = HostInterconnect(env, config.interconnect)
+        self.dram = OnboardDram(config.resources.dram_bytes)
+        self.stats = KamlStats()
+        # Logs occupy targets channel-major so that N <= channels logs land
+        # on N distinct channels (the Figure 8 configuration).
+        self.logs: List[KamlLog] = []
+        for log_id in range(config.kaml.num_logs):
+            channel = log_id % config.geometry.channels
+            chip = log_id // config.geometry.channels
+            self.logs.append(
+                KamlLog(env, config, self.array, log_id, channel, chip, hooks=self)
+            )
+        self.namespaces: Dict[int, Namespace] = {}
+        self._next_namespace_id = 1
+        self._log_subscribers: Dict[int, int] = {log.log_id: 0 for log in self.logs}
+        #: Bumped by :meth:`simulate_crash`; pre-crash processes ("ghosts")
+        #: compare against it and die without mutating recovered state.
+        self.epoch = 0
+        #: NVRAM write cache: (namespace, key) -> (version, value, size)
+        #: for acknowledged Puts whose mapping install has not landed yet.
+        #: ``Get`` serves from here so committed data is always visible.
+        self._staged: Dict[Tuple[int, int], Tuple[int, Any, int]] = {}
+        #: Last installed (or deleted) version per key: orders out-of-order
+        #: phase-3 installs from concurrent Puts.
+        self._installed_versions: Dict[Tuple[int, int], int] = {}
+        self._version_counter = 0
+        self._valid_bytes: Dict[Tuple[int, int, int], int] = {}
+        self._pins: Dict[Tuple[int, int, int], int] = {}
+        self._pin_gate = Gate(env, name="kaml.pins")
+        self.snapshots: Dict[int, Snapshot] = {}
+        self._next_snapshot_id = 1
+
+    # ------------------------------------------------------------------
+    # Namespace management (Table I)
+    # ------------------------------------------------------------------
+
+    def create_namespace(self, attributes: Optional[NamespaceAttributes] = None) -> Any:
+        """``CreateNamespace(attributes)``: returns the new namespace id."""
+        attributes = attributes or NamespaceAttributes()
+        index = Namespace.build_index(attributes, self.config.kaml.index_bucket_slots)
+        namespace_id = self._next_namespace_id
+        self._next_namespace_id += 1
+        namespace = Namespace(
+            namespace_id,
+            attributes,
+            index,
+            attributes.log_policy.select(
+                [log.log_id for log in self.logs], dict(self._log_subscribers)
+            ),
+        )
+        self.dram.allocate(namespace.dram_tag, index.memory_bytes)
+        for log_id in namespace.log_ids:
+            self._log_subscribers[log_id] += 1
+        self.namespaces[namespace_id] = namespace
+        yield from self.firmware.execute(self.costs.dispatch_us)
+        return namespace_id
+
+    def delete_namespace(self, namespace_id: int) -> Any:
+        """``DeleteNamespace``: drop the index; records become GC food."""
+        namespace = self._namespace(namespace_id)
+        if any(s.namespace_id == namespace_id for s in self.snapshots.values()):
+            raise KamlError(
+                f"namespace {namespace_id} has live snapshots; delete them first"
+            )
+        if namespace.index is not None:
+            for _key, location in namespace.index.items():
+                self._adjust_valid(location, -1)
+        for entry_key in [k for k in self._staged if k[0] == namespace_id]:
+            del self._staged[entry_key]
+        if self.dram.holds(namespace.dram_tag):
+            self.dram.free(namespace.dram_tag)
+        for log_id in namespace.log_ids:
+            self._log_subscribers[log_id] -= 1
+        del self.namespaces[namespace_id]
+        yield from self.firmware.execute(self.costs.dispatch_us)
+
+    def retarget_namespace(self, namespace_id: int, log_policy: Any) -> None:
+        """Re-assign a namespace's logs at runtime (Section IV-B)."""
+        namespace = self._namespace(namespace_id)
+        new_ids = log_policy.select(
+            [log.log_id for log in self.logs], dict(self._log_subscribers)
+        )
+        for log_id in namespace.log_ids:
+            self._log_subscribers[log_id] -= 1
+        for log_id in new_ids:
+            self._log_subscribers[log_id] += 1
+        namespace.log_ids = list(new_ids)
+
+    def close_namespace(self, namespace_id: int) -> Any:
+        """Swap a namespace's mapping table out of DRAM (Section IV-C).
+
+        The index object itself plays the role of the flash-resident copy;
+        only the DRAM accounting and residency flag change.
+        """
+        namespace = self._namespace(namespace_id)
+        if not namespace.resident:
+            return
+        yield from self._swap_transfer(namespace)
+        self.dram.free(namespace.dram_tag)
+        namespace.resident = False
+
+    def open_namespace(self, namespace_id: int) -> Any:
+        """Swap a namespace's mapping table back into DRAM."""
+        namespace = self._namespace(namespace_id)
+        if namespace.resident:
+            return
+        self.dram.allocate(namespace.dram_tag, namespace.index.memory_bytes)
+        yield from self._swap_transfer(namespace)
+        namespace.resident = True
+
+    def _swap_transfer(self, namespace: Namespace) -> Any:
+        """Time to stream the index between DRAM and flash."""
+        pages = -(-namespace.index.memory_bytes // self.geometry.page_size)
+        per_page = (
+            self.config.flash.read_us
+            + self.geometry.page_size / self.config.flash.bus_bytes_per_us
+        )
+        # Index pages stream across all channels in parallel.
+        yield self.env.timeout(per_page * pages / max(1, self.geometry.channels))
+
+    # ------------------------------------------------------------------
+    # Data path (Table I)
+    # ------------------------------------------------------------------
+
+    def get(self, namespace_id: int, key: int) -> Any:
+        """``Get``: returns the value, or None when the key is absent."""
+        result = yield from self.get_record(namespace_id, key)
+        return result[0] if result is not None else None
+
+    def get_record(self, namespace_id: int, key: int) -> Any:
+        """``Get`` returning ``(value, size)`` — what the caching layer uses."""
+        namespace = self._namespace(namespace_id)
+        namespace.require_resident()
+        self.stats.gets += 1
+        yield from self.link.command_overhead()
+        yield from self.firmware.execute(self.costs.dispatch_us)
+        # A logically committed but not-yet-installed value is served from
+        # the NVRAM staging area — acknowledged Puts are always visible.
+        staged = self._staged.get((namespace_id, key))
+        if staged is not None:
+            _version, value, size = staged
+            yield from self.firmware.execute(self.costs.hash_probe_us)
+            if value is _DELETED:
+                return None
+            yield from self.link.device_to_host(size)
+            return value, size
+        location, scanned = namespace.index.lookup(key)
+        yield from self.firmware.execute(scanned * self.costs.hash_probe_us)
+        if location is None:
+            return None
+        block_key = (location.page.channel, location.page.chip, location.page.block)
+        self._pin(block_key)
+        try:
+            data, _oob = yield from self.array.read_page(
+                location.page,
+                transfer_bytes=location.nchunks * self.geometry.chunk_size,
+            )
+        finally:
+            self._unpin(block_key)
+        record = data[location.chunk]
+        yield from self.link.device_to_host(record.size)
+        return record.value, record.size
+
+    # ------------------------------------------------------------------
+    # Snapshots (extension: the indirection service the intro motivates)
+    # ------------------------------------------------------------------
+
+    def snapshot_namespace(self, namespace_id: int) -> Any:
+        """Freeze a consistent, read-only view; returns a snapshot id.
+
+        Waits for the namespace's staged (acked but uninstalled) writes to
+        reach flash so the snapshot references only physical locations,
+        then clones the mapping table.  Records the snapshot references
+        stay valid until :meth:`delete_snapshot` drops it.
+        """
+        namespace = self._namespace(namespace_id)
+        namespace.require_resident()
+        # Drain this namespace's staging pipeline.
+        for _ in range(64):
+            if not any(k[0] == namespace_id for k in self._staged):
+                break
+            for log in self.logs:
+                log.force_flush()
+            yield self.env.timeout(
+                self.config.flash.program_us + self.config.kaml.flush_timeout_us
+            )
+        else:
+            raise SnapshotError("staging pipeline did not drain")
+        index = clone_index(namespace.index)
+        snapshot_id = self._next_snapshot_id
+        self._next_snapshot_id += 1
+        snapshot = Snapshot(snapshot_id, namespace_id, index)
+        self.dram.allocate(snapshot.dram_tag, index.memory_bytes)
+        for _key, location in index.items():
+            self._adjust_valid(location, +1)
+        self.snapshots[snapshot_id] = snapshot
+        # Cloning is a DRAM-to-DRAM copy inside the controller.
+        yield from self.firmware.execute(
+            self.costs.dispatch_us
+            + index.memory_bytes / self.costs.nvram_copy_bytes_per_us
+        )
+        return snapshot_id
+
+    def delete_snapshot(self, snapshot_id: int) -> Any:
+        """Drop a snapshot; its exclusive record versions become garbage."""
+        snapshot = self._snapshot(snapshot_id)
+        for _key, location in snapshot.index.items():
+            self._adjust_valid(location, -1)
+        self.dram.free(snapshot.dram_tag)
+        del self.snapshots[snapshot_id]
+        yield from self.firmware.execute(self.costs.dispatch_us)
+
+    def get_from_snapshot(self, snapshot_id: int, key: int) -> Any:
+        """Read a key as of the snapshot instant."""
+        snapshot = self._snapshot(snapshot_id)
+        self.stats.gets += 1
+        yield from self.link.command_overhead()
+        yield from self.firmware.execute(self.costs.dispatch_us)
+        location, scanned = snapshot.index.lookup(key)
+        yield from self.firmware.execute(scanned * self.costs.hash_probe_us)
+        if location is None:
+            return None
+        record = yield from self._read_record(location)
+        yield from self.link.device_to_host(record.size)
+        return record.value
+
+    def _snapshot(self, snapshot_id: int) -> Snapshot:
+        try:
+            return self.snapshots[snapshot_id]
+        except KeyError:
+            raise SnapshotError(f"unknown snapshot id: {snapshot_id}") from None
+
+    def _read_record(self, location: RecordLocation) -> Any:
+        """Pin-protected flash read of one record."""
+        block_key = (location.page.channel, location.page.chip, location.page.block)
+        self._pin(block_key)
+        try:
+            data, _oob = yield from self.array.read_page(
+                location.page,
+                transfer_bytes=location.nchunks * self.geometry.chunk_size,
+            )
+        finally:
+            self._unpin(block_key)
+        return data[location.chunk]
+
+    def scan(self, namespace_id: int, low: int, high: int) -> Any:
+        """Range scan (extension): ``[(key, value)]`` for low <= key <= high.
+
+        Requires the namespace to use the ``"sorted"`` index structure —
+        the per-namespace flexibility Section IV-C motivates.  Staged
+        (acknowledged but uninstalled) values are merged in, so scans see
+        every committed write.
+        """
+        if low > high:
+            raise KamlError(f"scan range is empty: [{low}, {high}]")
+        namespace = self._namespace(namespace_id)
+        namespace.require_resident()
+        if not namespace.supports_range:
+            raise KamlError(
+                f"namespace {namespace_id} uses a hash index; create it with "
+                f'index_structure="sorted" to enable Scan'
+            )
+        self.stats.gets += 1
+        yield from self.link.command_overhead()
+        yield from self.firmware.execute(self.costs.dispatch_us)
+        matches: Dict[int, Tuple[str, Any]] = {
+            key: ("flash", location)
+            for key, location in namespace.index.range(low, high)
+        }
+        for (staged_ns, staged_key), (_v, value, size) in self._staged.items():
+            if staged_ns == namespace_id and low <= staged_key <= high:
+                matches[staged_key] = ("staged", (value, size))
+        yield from self.firmware.execute(
+            (namespace.index._probes() + len(matches)) * self.costs.hash_probe_us
+        )
+        results = []
+        total_bytes = 0
+        for key in sorted(matches):
+            source, entry = matches[key]
+            if source == "staged":
+                value, size = entry
+                if value is _DELETED:
+                    continue
+                results.append((key, value))
+                total_bytes += size
+                continue
+            location = entry
+            block_key = (location.page.channel, location.page.chip, location.page.block)
+            self._pin(block_key)
+            try:
+                data, _oob = yield from self.array.read_page(
+                    location.page,
+                    transfer_bytes=location.nchunks * self.geometry.chunk_size,
+                )
+            finally:
+                self._unpin(block_key)
+            record = data[location.chunk]
+            results.append((key, record.value))
+            total_bytes += record.size
+        yield from self.link.device_to_host(total_bytes)
+        return results
+
+    def put(self, items: List[PutItem]) -> Any:
+        """``Put``: atomic multi-record update/insert.
+
+        Returns once *logically committed* (phase 1); the returned
+        :class:`~repro.sim.Process` resolves when the batch is fully on
+        flash with mapping tables updated (phases 2–3).
+        """
+        if not items:
+            raise KamlError("Put requires at least one record")
+        for item in items:
+            namespace = self._namespace(item.namespace_id)
+            namespace.require_resident()
+            if item.size <= 0:
+                raise KamlError(f"record size must be positive: {item!r}")
+            if chunks_for(item.size, self.geometry.chunk_size) > self.geometry.chunks_per_page:
+                raise RecordTooLargeError(
+                    f"value of {item.size} B does not fit in one flash page"
+                )
+        self.stats.puts += 1
+        self.stats.put_records += len(items)
+        epoch = self.epoch
+        total_bytes = sum(item.size for item in items)
+        yield from self.link.command_overhead()
+        yield from self.link.host_to_device(total_bytes)
+        handle = yield self.nvram.reserve(total_bytes, payload=list(items))
+        yield from self.firmware.execute(
+            self.costs.dispatch_us + total_bytes / self.costs.nvram_copy_bytes_per_us
+        )
+        if self.epoch != epoch:
+            return None  # crashed mid-command; NVRAM replay owns the batch
+        # Phase 1: reserve/inspect every key's index entry (probe CPU cost)
+        # and stage the whole batch atomically in NVRAM.  Concurrent Puts
+        # to the same key are ordered by the versions assigned here;
+        # installs in phase 3 follow version order, so no entry stays
+        # locked across a flash program.
+        # Per-record index probing/reservation spreads across the
+        # controller's cores: a batch pays ~one record's latency per
+        # firmware-context wave, not the serial sum.
+        probe_costs = []
+        for item in items:
+            namespace = self.namespaces[item.namespace_id]
+            existing, scanned = namespace.index.lookup(item.key)
+            cost = scanned * self.costs.hash_probe_us
+            if existing is None:
+                cost += self.costs.hash_insert_us
+            probe_costs.append(cost)
+        if len(probe_costs) == 1:
+            yield from self.firmware.execute(probe_costs[0])
+        else:
+            yield self.env.all_of(
+                [self.env.process(self.firmware.execute(c)) for c in probe_costs]
+            )
+        if self.epoch != epoch:
+            return None
+        versions = []
+        for item in items:
+            self._version_counter += 1
+            versions.append(self._version_counter)
+            self._staged[(item.namespace_id, item.key)] = (
+                self._version_counter, item.value, item.size,
+            )
+        # Logically committed: acknowledge the host, finish in background.
+        return self.env.process(
+            self._complete_put(items, versions, handle, epoch)
+        )
+
+    def _complete_put(self, items, versions, handle, epoch) -> Any:
+        """Phases 2 and 3: flash writes, then mapping-table installs."""
+        if self.epoch != epoch:
+            return
+        try:
+            appends = []
+            for item in items:
+                namespace = self.namespaces[item.namespace_id]
+                log = self.logs[namespace.next_log_id()]
+                record = Record(item.namespace_id, item.key, item.value, item.size)
+                appends.append(self.env.process(log.append(record)))
+            locations = yield self.env.all_of(appends)
+            yield from self.firmware.execute(
+                len(items) * (self.costs.per_record_us + self.costs.hash_update_us)
+            )
+            if self.epoch == epoch:
+                for item, version, location in zip(items, versions, locations):
+                    self._install_versioned(
+                        item.namespace_id, item.key, version, location
+                    )
+        finally:
+            if self.epoch == epoch:
+                self.nvram.release(handle)
+
+    def delete(self, namespace_id: int, key: int) -> Any:
+        """Remove a key (extension beyond Table I; used by the cache layer).
+
+        Returns True if the key existed.
+        """
+        namespace = self._namespace(namespace_id)
+        namespace.require_resident()
+        self.stats.deletes += 1
+        epoch = self.epoch
+        yield from self.link.command_overhead()
+        yield from self.firmware.execute(self.costs.dispatch_us)
+        location, scanned = namespace.index.lookup(key)
+        yield from self.firmware.execute(scanned * self.costs.hash_probe_us)
+        if self.epoch != epoch:
+            return False
+        staged = self._staged.pop((namespace_id, key), None)
+        existed = location is not None or (
+            staged is not None and staged[1] is not _DELETED
+        )
+        # A newer version than any in-flight install: older installs for
+        # this key become garbage on arrival instead of resurrecting it.
+        self._version_counter += 1
+        self._installed_versions[(namespace_id, key)] = self._version_counter
+        if location is not None:
+            namespace.index.delete(key)
+            self._adjust_valid(location, -1)
+        return existed
+
+    # ------------------------------------------------------------------
+    # Mapping installs and valid-byte accounting
+    # ------------------------------------------------------------------
+
+    def _install(self, namespace_id: int, key: int, location: RecordLocation) -> None:
+        """Point a key at its new record; retire the old copy's bytes."""
+        namespace = self.namespaces.get(namespace_id)
+        if namespace is None or namespace.index is None:
+            return  # namespace deleted mid-flight; the record is garbage
+        old_location, _ = namespace.index.lookup(key)
+        namespace.index.insert(key, location)
+        if old_location is not None:
+            self._adjust_valid(old_location, -1)
+        self._adjust_valid(location, +1)
+
+    def _install_versioned(
+        self, namespace_id: int, key: int, version: int, location: RecordLocation
+    ) -> None:
+        """Install a phase-3 mapping unless a newer write/delete won.
+
+        Out-of-order installs are possible because concurrent Puts no
+        longer serialize on entry locks; the version assigned at phase 1
+        is the commit order.  A superseded install's flash record is
+        never counted valid, so GC discards it for free.
+        """
+        entry_key = (namespace_id, key)
+        if version < self._installed_versions.get(entry_key, 0):
+            return
+        self._installed_versions[entry_key] = version
+        self._install(namespace_id, key, location)
+        staged = self._staged.get(entry_key)
+        if staged is not None and staged[0] <= version:
+            del self._staged[entry_key]
+
+    def _adjust_valid(self, location: RecordLocation, sign: int) -> None:
+        block_key = (location.page.channel, location.page.chip, location.page.block)
+        nbytes = location.nchunks * self.geometry.chunk_size
+        self._valid_bytes[block_key] = self._valid_bytes.get(block_key, 0) + sign * nbytes
+
+    # ------------------------------------------------------------------
+    # Hooks the logs use (GC and erase safety)
+    # ------------------------------------------------------------------
+
+    def valid_bytes(self, block_key: Tuple[int, int, int]) -> int:
+        return self._valid_bytes.get(block_key, 0)
+
+    def _indices_for(self, namespace_id: int):
+        """Every live mapping table that can reference this namespace's
+        records: the current index plus any snapshots."""
+        namespace = self.namespaces.get(namespace_id)
+        if namespace is not None and namespace.index is not None:
+            yield namespace.index
+        for snapshot in self.snapshots.values():
+            if snapshot.namespace_id == namespace_id:
+                yield snapshot.index
+
+    def is_valid(self, record: Record, location: RecordLocation) -> bool:
+        for index in self._indices_for(record.namespace_id):
+            current, _ = index.lookup(record.key)
+            if current == location:
+                return True
+        return False
+
+    def relocate(self, record: Record, old: RecordLocation, new: RecordLocation) -> bool:
+        """Compare-and-swap a GC-relocated record's mapping entries.
+
+        Every referencing table (current index and snapshots) is repointed
+        so the old copy really becomes garbage.
+        """
+        moved = False
+        for index in self._indices_for(record.namespace_id):
+            current, _ = index.lookup(record.key)
+            if current != old:
+                continue
+            index.insert(record.key, new)
+            self._adjust_valid(old, -1)
+            self._adjust_valid(new, +1)
+            moved = True
+        return moved
+
+    def block_erased(self, block_key: Tuple[int, int, int]) -> None:
+        self._valid_bytes.pop(block_key, None)
+
+    def _pin(self, block_key: Tuple[int, int, int]) -> None:
+        self._pins[block_key] = self._pins.get(block_key, 0) + 1
+
+    def _unpin(self, block_key: Tuple[int, int, int]) -> None:
+        remaining = self._pins.get(block_key, 0) - 1
+        if remaining <= 0:
+            self._pins.pop(block_key, None)
+        else:
+            self._pins[block_key] = remaining
+        self._pin_gate.fire()
+
+    def wait_unpinned(self, block_key: Tuple[int, int, int]) -> Any:
+        """Block until no reader holds the block (pre-erase barrier)."""
+        while self._pins.get(block_key, 0) > 0:
+            yield self._pin_gate.wait()
+
+    # ------------------------------------------------------------------
+    # Crash and recovery (Section IV-D failure handling)
+    # ------------------------------------------------------------------
+
+    def simulate_crash(self) -> None:
+        """Power-cut at the current instant.
+
+        On-board DRAM (mapping tables) and NVRAM (staged batches) are
+        persistent per Section IV-A; open-page assemblies and in-flight
+        firmware state are lost.  Processes from before the crash become
+        ghosts: their waits never resolve.
+        """
+        self.epoch += 1
+        for log in self.logs:
+            log.reset_write_points()
+            log.gc_running = False
+        self._staged.clear()  # firmware-DRAM view; replay rebuilds installs
+        self._pins.clear()
+        # Re-sync soft write pointers with what actually reached flash.
+        for log in self.logs:
+            for for_gc in (False, True):
+                block = log._active[for_gc]
+                if block is not None:
+                    log._active_wp[for_gc] = (
+                        self.array.chip(log.channel, log.chip).block(block).write_pointer
+                    )
+
+    def recover(self) -> Any:
+        """Replay every staged NVRAM batch (redo logging, Section IV-D).
+
+        Batches replay oldest-first; the result is as if each staged
+        ``Put`` had completed just before the crash.
+        """
+        staged = list(self.nvram.live_payloads())
+        for handle, items in staged:
+            staged_events = []
+            touched = set()
+            for item in items or []:
+                namespace = self.namespaces.get(item.namespace_id)
+                if namespace is None or namespace.index is None:
+                    continue
+                log = self.logs[namespace.next_log_id()]
+                record = Record(item.namespace_id, item.key, item.value, item.size)
+                staged_events.append((item, log._stage(record, for_gc=False)))
+                touched.add(log.log_id)
+            for log_id in touched:
+                self.logs[log_id].force_flush()
+            for item, event in staged_events:
+                location = yield event
+                self._install(item.namespace_id, item.key, location)
+            self.nvram.release(handle)
+            self.stats.recovered_batches += 1
+        yield self.env.timeout(0.0)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _namespace(self, namespace_id: int) -> Namespace:
+        try:
+            return self.namespaces[namespace_id]
+        except KeyError:
+            raise NamespaceError(f"unknown namespace id: {namespace_id}") from None
+
+    def drain(self) -> Any:
+        """Force all open pages to flash and wait for them (test helper)."""
+        for log in self.logs:
+            log.force_flush()
+        yield self.env.timeout(
+            self.config.flash.program_us * 4 + self.config.kaml.flush_timeout_us
+        )
+
+    def utilization_report(self) -> Dict[str, Any]:
+        """Operational snapshot of the device (monitoring/debug surface)."""
+        erase_low, erase_high = self.array.erase_count_spread()
+        return {
+            "namespaces": len(self.namespaces),
+            "snapshots": len(self.snapshots),
+            "dram_used_bytes": self.dram.used_bytes,
+            "dram_free_bytes": self.dram.free_bytes,
+            "nvram_used_bytes": self.nvram.used_bytes,
+            "staged_records": len(self._staged),
+            "valid_bytes": sum(self._valid_bytes.values()),
+            "free_blocks": sum(log.free_blocks for log in self.logs),
+            "retired_blocks": sum(log.stats.retired_blocks for log in self.logs),
+            "gc_erased_blocks": sum(log.stats.gc_erased_blocks for log in self.logs),
+            "flash_programs": self.array.total_programs(),
+            "flash_reads": self.array.total_reads(),
+            "erase_count_min": erase_low,
+            "erase_count_max": erase_high,
+        }

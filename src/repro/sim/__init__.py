@@ -1,0 +1,39 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free kernel in the style of SimPy: simulated time,
+generator-based processes, one-shot events, and queued resources.  Every
+other subsystem in :mod:`repro` (flash chips, channels, firmware, host
+threads) is expressed as processes scheduled by an :class:`Environment`.
+
+Typical usage::
+
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(5.0)
+        return "done"
+
+    proc = env.process(worker(env))
+    env.run()
+    assert proc.value == "done"
+"""
+
+from repro.sim.core import Environment, Event, Timeout, SimulationError
+from repro.sim.process import Process, Interrupt
+from repro.sim.resources import Resource, Request
+from repro.sim.sync import SimLock, Gate
+from repro.sim.store import Store
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Resource",
+    "Request",
+    "SimLock",
+    "Gate",
+    "Store",
+    "SimulationError",
+]

@@ -1,0 +1,236 @@
+"""Core of the discrete-event simulation kernel.
+
+The kernel revolves around three ideas:
+
+* :class:`Environment` owns the simulated clock and a priority queue of
+  scheduled events.
+* :class:`Event` is a one-shot occurrence.  Callbacks attached to an event
+  run when the environment processes it.
+* Processes (see :mod:`repro.sim.process`) are generators that ``yield``
+  events; the kernel resumes them when the yielded event fires.
+
+Time is a float in *microseconds* throughout :mod:`repro`; the kernel itself
+is unit-agnostic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+#: Event priorities.  Lower sorts earlier among events scheduled for the
+#: same instant.  URGENT is used internally for resource handoffs so that a
+#: released resource is re-granted before ordinary timeouts at the same time.
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Event:
+    """A one-shot occurrence inside an :class:`Environment`.
+
+    An event starts *pending*, becomes *triggered* once it has a value (or
+    an exception) and is scheduled, and *processed* after its callbacks ran.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_exception", "_triggered", "_processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("value of untriggered event")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.env._schedule(self, 0.0, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        Processes waiting on the event get the exception thrown into them.
+        """
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.env._schedule(self, 0.0, priority)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run immediately so late listeners still fire.
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule(self, delay, NORMAL)
+
+
+class Environment:
+    """Owns simulated time and the pending-event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self.active_process = None  # set by Process while it runs
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # -- event construction helpers -------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> "Process":
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def any_of(self, events) -> Event:
+        """An event that fires when the first of ``events`` fires."""
+        events = list(events)
+        result = self.event()
+
+        def on_fire(event: Event) -> None:
+            if not result.triggered:
+                if event.ok:
+                    result.succeed(event._value)
+                else:
+                    result.fail(event._exception)
+
+        for event in events:
+            event.add_callback(on_fire)
+        return result
+
+    def all_of(self, events) -> Event:
+        """An event that fires when every one of ``events`` has fired."""
+        events = list(events)
+        result = self.event()
+        remaining = [len(events)]
+        if not events:
+            result.succeed([])
+            return result
+
+        def on_fire(event: Event) -> None:
+            if result.triggered:
+                return
+            if not event.ok:
+                result.fail(event._exception)
+                return
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                result.succeed([e._value for e in events])
+
+        for event in events:
+            event.add_callback(on_fire)
+        return result
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float, priority: int = NORMAL) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        when, _priority, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        event._run_callbacks()
+
+    def run_until(self, event: Event) -> None:
+        """Run until ``event`` triggers.
+
+        Unlike :meth:`run`, this terminates even when perpetual background
+        processes (checkpointers, pollers) keep the schedule non-empty.
+        """
+        while not event._processed:
+            if not self._queue:
+                raise SimulationError("run_until: event can never fire (schedule empty)")
+            self.step()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the schedule drains or simulated time reaches ``until``."""
+        if until is not None and until < self._now:
+            raise SimulationError(f"run(until={until}) is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until

@@ -1,0 +1,106 @@
+"""Queued resources.
+
+:class:`Resource` models anything with finite concurrency: a flash channel's
+data bus, a chip's command engine, the WAL's log mutex.  Requests are served
+FIFO (optionally by priority).
+
+Usage inside a process::
+
+    request = bus.request()
+    yield request
+    try:
+        yield env.timeout(transfer_time)
+    finally:
+        bus.release(request)
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import List, Tuple
+
+from repro.sim.core import URGENT, Environment, Event, SimulationError
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`.
+
+    The event fires when the resource grants the claim.  Pass the request
+    back to :meth:`Resource.release` when done.
+    """
+
+    __slots__ = ("resource", "priority", "cancelled")
+
+    def __init__(self, resource: "Resource", priority: int):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request (e.g. when a waiter times out)."""
+        if self.triggered:
+            raise SimulationError("cannot cancel a granted request; release it")
+        self.cancelled = True
+
+
+class Resource:
+    """A counted resource with a FIFO (priority-aware) wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._ticket = count()
+        self._waiting: List[Tuple[int, int, Request]] = []
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return sum(1 for _, _, request in self._waiting if not request.cancelled)
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim one unit.  The returned event fires when granted."""
+        request = Request(self, priority)
+        if self._in_use < self.capacity and not self._waiting:
+            self._in_use += 1
+            request.succeed(request, priority=URGENT)
+        else:
+            heapq.heappush(self._waiting, (priority, next(self._ticket), request))
+        return request
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted unit."""
+        if not request.triggered:
+            raise SimulationError("releasing a request that was never granted")
+        if request.resource is not self:
+            raise SimulationError("request released on the wrong resource")
+        self._in_use -= 1
+        if self._in_use < 0:
+            raise SimulationError(f"resource {self.name!r} over-released")
+        self._grant_next()
+
+    def _grant_next(self) -> None:
+        while self._waiting and self._in_use < self.capacity:
+            _priority, _ticket, request = heapq.heappop(self._waiting)
+            if request.cancelled:
+                continue
+            self._in_use += 1
+            request.succeed(request, priority=URGENT)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Resource {self.name!r} {self._in_use}/{self.capacity} "
+            f"queued={self.queue_length}>"
+        )

@@ -1,0 +1,68 @@
+"""Producer/consumer queue for simulation processes."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.core import Environment, Event, SimulationError
+
+
+class Store:
+    """An unbounded (or bounded) FIFO of items.
+
+    ``put`` succeeds immediately while below capacity; ``get`` returns an
+    event that fires with the next item.
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None, name: str = ""):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"store capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()
+        self._pending_puts: Deque[Any] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def getters_waiting(self) -> int:
+        return len(self._getters)
+
+    def put(self, item: Any) -> Event:
+        """Deposit ``item``.  The event fires once the item is accepted."""
+        event = self.env.event()
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self._putters.append(event)
+            self._pending_puts.append(item)
+            return event
+        self._accept(item)
+        event.succeed()
+        return event
+
+    def get(self) -> Event:
+        """The returned event fires with the oldest item."""
+        event = self.env.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+            self._admit_pending()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _accept(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def _admit_pending(self) -> None:
+        while self._putters and (self.capacity is None or len(self._items) < self.capacity):
+            putter = self._putters.popleft()
+            item = self._pending_puts.popleft()
+            self._accept(item)
+            putter.succeed()

@@ -1,0 +1,79 @@
+"""Synchronization helpers built on the kernel primitives."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.sim.core import Environment, Event, SimulationError
+from repro.sim.resources import Request, Resource
+
+
+class SimLock:
+    """A mutex.  ``yield lock.acquire()`` then ``lock.release()``.
+
+    Unlike :class:`Resource`, release is not tied to a request object, which
+    keeps lock-manager code (acquire in one method, release in another)
+    readable.  The holder is tracked for debugging.
+    """
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self._resource = Resource(env, capacity=1, name=name)
+        self._held_request: Optional[Request] = None
+        self.holder: Any = None
+
+    @property
+    def locked(self) -> bool:
+        return self._resource.in_use > 0
+
+    @property
+    def waiters(self) -> int:
+        """Processes queued behind the current holder."""
+        return self._resource.queue_length
+
+    def acquire(self, owner: Any = None) -> Event:
+        request = self._resource.request()
+
+        def record(event: Event) -> None:
+            self._held_request = event.value
+            self.holder = owner
+
+        request.add_callback(record)
+        return request
+
+    def release(self) -> None:
+        if self._held_request is None:
+            raise SimulationError(f"lock {self.name!r} released while free")
+        request, self._held_request = self._held_request, None
+        self.holder = None
+        self._resource.release(request)
+
+
+class Gate:
+    """A broadcast condition: many waiters, re-armable.
+
+    ``yield gate.wait()`` blocks until the next :meth:`fire`.  Each ``fire``
+    wakes everyone currently waiting and re-arms the gate.
+    """
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self._waiters: List[Event] = []
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def wait(self) -> Event:
+        event = self.env.event()
+        self._waiters.append(event)
+        return event
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all current waiters; returns how many were woken."""
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed(value)
+        return len(waiters)

@@ -1,0 +1,17 @@
+"""SSD controller substrate: on-board DRAM, battery-backed NVRAM staging
+buffers, the PCIe/NVMe host interconnect, and firmware execution contexts
+(Section IV-A, Figure 3)."""
+
+from repro.ssd.dram import OnboardDram, DramExhausted
+from repro.ssd.nvram import NvramBuffer, NvramExhausted
+from repro.ssd.interconnect import HostInterconnect
+from repro.ssd.controller import FirmwarePool
+
+__all__ = [
+    "OnboardDram",
+    "DramExhausted",
+    "NvramBuffer",
+    "NvramExhausted",
+    "HostInterconnect",
+    "FirmwarePool",
+]

@@ -1,0 +1,38 @@
+"""Firmware execution contexts.
+
+The controller has multiple embedded cores (Section IV-A).  Commands claim
+an execution context for their CPU-bound phases; flash and bus waits happen
+outside the context so cores are not pinned during I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim import Environment, Resource
+
+
+class FirmwarePool:
+    """A pool of embedded-CPU execution contexts."""
+
+    def __init__(self, env: Environment, contexts: int):
+        self.env = env
+        self._pool = Resource(env, capacity=contexts, name="firmware")
+        self.busy_us = 0.0
+
+    @property
+    def contexts(self) -> int:
+        return self._pool.capacity
+
+    def execute(self, cost_us: float) -> Any:
+        """Run ``cost_us`` of firmware work on some core."""
+        if cost_us <= 0:
+            return
+        request = self._pool.request()
+        yield request
+        try:
+            started = self.env.now
+            yield self.env.timeout(cost_us)
+            self.busy_us += self.env.now - started
+        finally:
+            self._pool.release(request)

@@ -1,0 +1,98 @@
+"""Battery/capacitor-backed staging memory.
+
+KAML commits a ``Put`` the moment its key-value payload lands in this
+buffer (Section IV-D phase 1): the data is durable before any flash write.
+Flash programs drain the buffer in the background.  When the buffer is full,
+new reservations block until space drains — that back-pressure is what ties
+sustained ``Put`` bandwidth to flash program bandwidth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Tuple  # noqa: F401 (Deque/Tuple in annotations)
+
+from repro.sim import Environment, Event
+
+
+class NvramExhausted(Exception):
+    """A non-blocking reservation did not fit."""
+
+
+class NvramBuffer:
+    """A counted byte pool with blocking reservations and durable contents."""
+
+    def __init__(self, env: Environment, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("NVRAM capacity must be positive")
+        self.env = env
+        self.capacity_bytes = capacity_bytes
+        self._used = 0
+        self._waiters: Deque[Tuple[int, Event]] = deque()
+        self._handles: Dict[int, Tuple[int, Any]] = {}
+        self._next_handle = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used
+
+    def reserve(self, nbytes: int, payload: Any = None) -> Event:
+        """Reserve space; the event fires with a handle once space exists.
+
+        ``payload`` is retained for crash-recovery simulation until the
+        handle is released (the flash write completed and the index was
+        updated).
+        """
+        if nbytes <= 0:
+            raise ValueError("reservation must be positive")
+        if nbytes > self.capacity_bytes:
+            raise NvramExhausted(
+                f"reservation of {nbytes} B exceeds NVRAM capacity "
+                f"({self.capacity_bytes} B)"
+            )
+        event = self.env.event()
+        if not self._waiters and nbytes <= self.free_bytes:
+            event.succeed(self._grant(nbytes, payload))
+        else:
+            self._waiters.append((nbytes, payload, event))
+        return event
+
+    def release(self, handle: int) -> None:
+        """Free a reservation (its contents reached flash)."""
+        try:
+            nbytes, _payload = self._handles.pop(handle)
+        except KeyError:
+            raise KeyError(f"unknown NVRAM handle: {handle}") from None
+        self._used -= nbytes
+        self._drain_waiters()
+
+    def payload(self, handle: int) -> Any:
+        """The durable contents of a live reservation (recovery path)."""
+        return self._handles[handle][1]
+
+    def live_payloads(self):
+        """All staged contents, oldest handle first (crash recovery scan)."""
+        for handle in sorted(self._handles):
+            yield handle, self._handles[handle][1]
+
+    def _grant(self, nbytes: int, payload: Any) -> int:
+        handle = self._next_handle
+        self._next_handle += 1
+        self._used += nbytes
+        self._handles[handle] = (nbytes, payload)
+        return handle
+
+    def _drain_waiters(self) -> None:
+        while self._waiters:
+            nbytes, payload, event = self._waiters[0]
+            if nbytes > self.free_bytes:
+                return
+            self._waiters.popleft()
+            event.succeed(self._grant(nbytes, payload))
+
+    def __len__(self) -> int:
+        return len(self._handles)

@@ -1,0 +1,44 @@
+"""Workloads from the paper's evaluation (Section V): microbenchmarks,
+TPC-B, a TPC-C subset (NewOrder + Payment), and YCSB A/B/C/D/F."""
+
+from repro.workloads.keydist import UniformChooser, ZipfianChooser, LatestChooser
+from repro.workloads.adapters import KamlAdapter, ShoreAdapter
+from repro.workloads.micro import (
+    MicroResult,
+    run_closed_loop,
+    kaml_fetch,
+    kaml_update,
+    kaml_insert,
+    block_fetch,
+    block_update,
+    block_insert,
+)
+from repro.workloads.tpcb import TpcB
+from repro.workloads.tpcc import TpcC
+from repro.workloads.ycsb import Ycsb, YCSB_MIXES
+from repro.workloads.trace import Trace, TraceOp, replay, sequential_fill, synthesize
+
+__all__ = [
+    "UniformChooser",
+    "ZipfianChooser",
+    "LatestChooser",
+    "KamlAdapter",
+    "ShoreAdapter",
+    "MicroResult",
+    "run_closed_loop",
+    "kaml_fetch",
+    "kaml_update",
+    "kaml_insert",
+    "block_fetch",
+    "block_update",
+    "block_insert",
+    "TpcB",
+    "TpcC",
+    "Ycsb",
+    "YCSB_MIXES",
+    "Trace",
+    "TraceOp",
+    "replay",
+    "sequential_fill",
+    "synthesize",
+]

@@ -1,0 +1,68 @@
+"""Shared closed-loop transaction runner for the OLTP/NoSQL workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List
+
+from repro.sim import Environment
+
+
+@dataclass
+class OltpResult:
+    transactions: int = 0
+    elapsed_us: float = 0.0
+    aborts: int = 0
+    latencies_us: List[float] = field(default_factory=list)
+
+    @property
+    def tps(self) -> float:
+        if self.elapsed_us <= 0:
+            return 0.0
+        return self.transactions * 1e6 / self.elapsed_us
+
+    @property
+    def mean_latency_us(self) -> float:
+        if not self.latencies_us:
+            return 0.0
+        return sum(self.latencies_us) / len(self.latencies_us)
+
+
+def run_transactions(
+    env: Environment,
+    adapter: Any,
+    make_body: Callable[[int, int], Callable],
+    threads: int,
+    txns_per_thread: int,
+) -> OltpResult:
+    """Each worker runs ``txns_per_thread`` transactions; ``make_body``
+    returns the per-transaction body generator function."""
+    result = OltpResult()
+    aborted_before = adapter.aborted
+    start = env.now
+
+    def worker(thread_id: int):
+        for i in range(txns_per_thread):
+            txn_start = env.now
+            body = make_body(thread_id, i)
+            yield from adapter.run_transaction(body)
+            result.latencies_us.append(env.now - txn_start)
+            result.transactions += 1
+
+    procs = [env.process(worker(t)) for t in range(threads)]
+    done = env.all_of(procs)
+    finish_time = []
+    done.add_callback(lambda _e: finish_time.append(env.now))
+    # run_until, not run(): perpetual background processes (the baseline's
+    # checkpointer) would otherwise keep the schedule alive forever.
+    env.run_until(done)
+    result.elapsed_us = finish_time[0] - start
+    result.aborts = adapter.aborted - aborted_before
+    return result
+
+
+def drive(env: Environment, gen) -> Any:
+    """Run a setup generator to completion (population helper)."""
+    proc = env.process(gen)
+    env.run_until(proc)
+    return proc.value

@@ -1,0 +1,113 @@
+"""TPC-B (Section V-D): the AccountUpdate transaction.
+
+Schema: branches, tellers (10 per branch), accounts, and an append-only
+history table.  AccountUpdate reads and updates one account, its teller
+and branch balances, and inserts a history row.  Per the paper's setup
+all values are 512 bytes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.sim import Environment
+from repro.workloads.oltp import OltpResult, drive, run_transactions
+
+VALUE_SIZE = 512
+
+
+class TpcB:
+    """TPC-B against either adapter (scaled by constructor arguments)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        adapter: Any,
+        branches: int = 2,
+        tellers_per_branch: int = 10,
+        accounts_per_branch: int = 1000,
+        seed: int = 42,
+    ):
+        self.env = env
+        self.adapter = adapter
+        self.branches = branches
+        self.tellers_per_branch = tellers_per_branch
+        self.accounts_per_branch = accounts_per_branch
+        self.seed = seed
+        self._history_counter = 0
+
+    # -- keys ----------------------------------------------------------------
+
+    def teller_key(self, branch: int, teller: int) -> int:
+        return branch * self.tellers_per_branch + teller
+
+    def account_key(self, branch: int, account: int) -> int:
+        return branch * self.accounts_per_branch + account
+
+    # -- population -----------------------------------------------------------
+
+    def setup(self) -> None:
+        drive(self.env, self._setup())
+
+    def _setup(self) -> Any:
+        total_accounts = self.branches * self.accounts_per_branch
+        total_tellers = self.branches * self.tellers_per_branch
+        yield from self.adapter.create_table("branch", self.branches)
+        yield from self.adapter.create_table("teller", total_tellers)
+        yield from self.adapter.create_table("account", total_accounts)
+        yield from self.adapter.create_table(
+            "history", total_accounts * 4
+        )
+        for branch in range(self.branches):
+            yield from self.adapter.load("branch", branch, 0, VALUE_SIZE)
+            for teller in range(self.tellers_per_branch):
+                yield from self.adapter.load(
+                    "teller", self.teller_key(branch, teller), 0, VALUE_SIZE
+                )
+            for account in range(self.accounts_per_branch):
+                yield from self.adapter.load(
+                    "account", self.account_key(branch, account), 0, VALUE_SIZE
+                )
+
+    # -- the AccountUpdate transaction -----------------------------------------
+
+    def account_update_body(self, rng: random.Random):
+        branch = rng.randrange(self.branches)
+        teller = self.teller_key(branch, rng.randrange(self.tellers_per_branch))
+        account = self.account_key(branch, rng.randrange(self.accounts_per_branch))
+        delta = rng.randint(-99999, 99999)
+
+        def body(txn):
+            balance = yield from self.adapter.read_for_update(txn, "account", account)
+            yield from self.adapter.update(
+                txn, "account", account, (balance or 0) + delta, VALUE_SIZE
+            )
+            teller_balance = yield from self.adapter.read_for_update(txn, "teller", teller)
+            yield from self.adapter.update(
+                txn, "teller", teller, (teller_balance or 0) + delta, VALUE_SIZE
+            )
+            branch_balance = yield from self.adapter.read_for_update(txn, "branch", branch)
+            yield from self.adapter.update(
+                txn, "branch", branch, (branch_balance or 0) + delta, VALUE_SIZE
+            )
+            self._history_counter += 1
+            yield from self.adapter.insert(
+                txn, "history", self._history_counter,
+                (account, teller, branch, delta), VALUE_SIZE,
+            )
+            return delta
+
+        return body
+
+    # -- runner -------------------------------------------------------------------
+
+    def run(self, threads: int = 8, txns_per_thread: int = 25) -> OltpResult:
+        rngs = [random.Random(self.seed + t) for t in range(threads)]
+
+        def make_body(thread_id: int, _i: int):
+            return self.account_update_body(rngs[thread_id])
+
+        return run_transactions(
+            self.env, self.adapter, make_body, threads, txns_per_thread
+        )

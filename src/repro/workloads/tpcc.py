@@ -1,0 +1,197 @@
+"""TPC-C subset (Section V-D): NewOrder and Payment transactions.
+
+Schema and transaction profiles follow the TPC-C specification shape at
+configurable scale; per the paper's setup all values are 512 bytes
+except CUSTOMER rows, which are 1024 bytes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.sim import Environment
+from repro.workloads.oltp import OltpResult, drive, run_transactions
+
+VALUE_SIZE = 512
+CUSTOMER_SIZE = 1024
+
+
+class TpcC:
+    """The NewOrder + Payment subset against either adapter."""
+
+    def __init__(
+        self,
+        env: Environment,
+        adapter: Any,
+        warehouses: int = 2,
+        districts_per_warehouse: int = 10,
+        customers_per_district: int = 60,
+        items: int = 1000,
+        seed: int = 7,
+    ):
+        self.env = env
+        self.adapter = adapter
+        self.warehouses = warehouses
+        self.districts = districts_per_warehouse
+        self.customers = customers_per_district
+        self.items = items
+        self.seed = seed
+        self._history_counter = 0
+        self._order_counters = {}
+
+    # -- key encodings ----------------------------------------------------------
+
+    def district_key(self, w: int, d: int) -> int:
+        return w * 100 + d
+
+    def customer_key(self, w: int, d: int, c: int) -> int:
+        return self.district_key(w, d) * 10_000 + c
+
+    def stock_key(self, w: int, item: int) -> int:
+        return w * 1_000_000 + item
+
+    def order_key(self, w: int, d: int, o_id: int) -> int:
+        return self.district_key(w, d) * 1_000_000 + o_id
+
+    def order_line_key(self, order_key: int, line: int) -> int:
+        return order_key * 16 + line
+
+    # -- population ---------------------------------------------------------------
+
+    def setup(self) -> None:
+        drive(self.env, self._setup())
+
+    def _setup(self) -> Any:
+        total_customers = self.warehouses * self.districts * self.customers
+        total_stock = self.warehouses * self.items
+        yield from self.adapter.create_table("warehouse", self.warehouses)
+        yield from self.adapter.create_table("district", self.warehouses * self.districts)
+        yield from self.adapter.create_table("customer", total_customers)
+        yield from self.adapter.create_table("item", self.items)
+        yield from self.adapter.create_table("stock", total_stock)
+        yield from self.adapter.create_table("orders", total_customers * 2)
+        yield from self.adapter.create_table("order_line", total_customers * 16)
+        yield from self.adapter.create_table("new_order", total_customers * 2)
+        yield from self.adapter.create_table("history", total_customers * 2)
+        for w in range(self.warehouses):
+            yield from self.adapter.load("warehouse", w, ("w", 0.0), VALUE_SIZE)
+            for d in range(self.districts):
+                dk = self.district_key(w, d)
+                yield from self.adapter.load("district", dk, ("d", 0.0, 1), VALUE_SIZE)
+                self._order_counters[dk] = 1
+                for c in range(self.customers):
+                    yield from self.adapter.load(
+                        "customer", self.customer_key(w, d, c),
+                        ("c", 0.0), CUSTOMER_SIZE,
+                    )
+        for item in range(self.items):
+            yield from self.adapter.load("item", item, ("i", item), VALUE_SIZE)
+        for w in range(self.warehouses):
+            for item in range(self.items):
+                yield from self.adapter.load(
+                    "stock", self.stock_key(w, item), ("s", 100), VALUE_SIZE
+                )
+
+    # -- NewOrder ---------------------------------------------------------------
+
+    def new_order_body(self, rng: random.Random):
+        w = rng.randrange(self.warehouses)
+        d = rng.randrange(self.districts)
+        c = rng.randrange(self.customers)
+        line_count = rng.randint(5, 15)
+        # Distinct items, locked in sorted order — the standard TPC-C
+        # implementation trick that avoids stock-lock deadlocks.
+        order_items = sorted({rng.randrange(self.items) for _ in range(line_count)})
+
+        def body(txn):
+            yield from self.adapter.read(txn, "warehouse", w)
+            dk = self.district_key(w, d)
+            district = yield from self.adapter.read_for_update(txn, "district", dk)
+            next_o_id = district[2] if district else 1
+            yield from self.adapter.update(
+                txn, "district", dk, ("d", 0.0, next_o_id + 1), VALUE_SIZE
+            )
+            yield from self.adapter.read(txn, "customer", self.customer_key(w, d, c))
+            ok = self.order_key(w, d, next_o_id)
+            for line, item in enumerate(order_items):
+                yield from self.adapter.read(txn, "item", item)
+                sk = self.stock_key(w, item)
+                stock = yield from self.adapter.read_for_update(txn, "stock", sk)
+                quantity = stock[1] if stock else 100
+                new_quantity = quantity - 1 if quantity > 10 else quantity + 91
+                yield from self.adapter.update(
+                    txn, "stock", sk, ("s", new_quantity), VALUE_SIZE
+                )
+                yield from self.adapter.insert(
+                    txn, "order_line", self.order_line_key(ok, line),
+                    ("ol", item, 1), VALUE_SIZE,
+                )
+            yield from self.adapter.insert(
+                txn, "orders", ok, ("o", c, line_count), VALUE_SIZE
+            )
+            yield from self.adapter.insert(
+                txn, "new_order", ok, ("no",), VALUE_SIZE
+            )
+            return next_o_id
+
+        return body
+
+    # -- Payment -------------------------------------------------------------------
+
+    def payment_body(self, rng: random.Random):
+        w = rng.randrange(self.warehouses)
+        d = rng.randrange(self.districts)
+        c = rng.randrange(self.customers)
+        amount = rng.uniform(1.0, 5000.0)
+
+        def body(txn):
+            warehouse = yield from self.adapter.read_for_update(txn, "warehouse", w)
+            ytd = warehouse[1] if warehouse else 0.0
+            yield from self.adapter.update(
+                txn, "warehouse", w, ("w", ytd + amount), VALUE_SIZE
+            )
+            dk = self.district_key(w, d)
+            district = yield from self.adapter.read_for_update(txn, "district", dk)
+            yield from self.adapter.update(
+                txn, "district", dk,
+                ("d", (district[1] if district else 0.0) + amount,
+                 district[2] if district else 1),
+                VALUE_SIZE,
+            )
+            ck = self.customer_key(w, d, c)
+            customer = yield from self.adapter.read_for_update(txn, "customer", ck)
+            balance = customer[1] if customer else 0.0
+            yield from self.adapter.update(
+                txn, "customer", ck, ("c", balance - amount), CUSTOMER_SIZE
+            )
+            self._history_counter += 1
+            yield from self.adapter.insert(
+                txn, "history", self._history_counter, ("h", w, d, c, amount),
+                VALUE_SIZE,
+            )
+            return amount
+
+        return body
+
+    # -- runners -----------------------------------------------------------------
+
+    def run_new_order(self, threads: int = 8, txns_per_thread: int = 15) -> OltpResult:
+        rngs = [random.Random(self.seed + t) for t in range(threads)]
+
+        def make_body(thread_id: int, _i: int):
+            return self.new_order_body(rngs[thread_id])
+
+        return run_transactions(
+            self.env, self.adapter, make_body, threads, txns_per_thread
+        )
+
+    def run_payment(self, threads: int = 8, txns_per_thread: int = 25) -> OltpResult:
+        rngs = [random.Random(self.seed * 31 + t) for t in range(threads)]
+
+        def make_body(thread_id: int, _i: int):
+            return self.payment_body(rngs[thread_id])
+
+        return run_transactions(
+            self.env, self.adapter, make_body, threads, txns_per_thread
+        )

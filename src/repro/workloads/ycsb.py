@@ -1,0 +1,128 @@
+"""YCSB core workloads A, B, C, D, F (Table III, Section V-E).
+
+20 million 1024-byte records in the paper; record count here is a
+constructor argument.  Operations run as single-op transactions through
+the adapter, matching the paper's use of the KAML caching layer (and
+Shore-MT) as a NoSQL key-value store.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from repro.sim import Environment
+from repro.workloads.keydist import LatestChooser, UniformChooser, ZipfianChooser
+from repro.workloads.oltp import OltpResult, drive, run_transactions
+
+VALUE_SIZE = 1024
+TABLE = "usertable"
+
+#: Table III: operation mix per workload.
+YCSB_MIXES: Dict[str, Dict[str, float]] = {
+    "a": {"read": 0.5, "update": 0.5},
+    "b": {"read": 0.95, "update": 0.05},
+    "c": {"read": 1.0},
+    "d": {"read": 0.95, "insert": 0.05},
+    "f": {"read": 0.5, "rmw": 0.5},
+}
+
+
+class Ycsb:
+    """One YCSB workload instance bound to an adapter."""
+
+    def __init__(
+        self,
+        env: Environment,
+        adapter: Any,
+        records: int = 2000,
+        workload: str = "a",
+        value_size: int = VALUE_SIZE,
+        distribution: str = "zipfian",
+        seed: int = 11,
+    ):
+        if workload not in YCSB_MIXES:
+            raise ValueError(f"unknown YCSB workload: {workload!r}")
+        self.env = env
+        self.adapter = adapter
+        self.records = records
+        self.workload = workload
+        self.value_size = value_size
+        self.mix = YCSB_MIXES[workload]
+        self.seed = seed
+        self._insert_counter = records
+        if workload == "d":
+            self._chooser = LatestChooser(records, seed=seed)
+        elif distribution == "uniform":
+            self._chooser = UniformChooser(records, seed=seed)
+        else:
+            self._chooser = ZipfianChooser(records, seed=seed)
+
+    # -- population ---------------------------------------------------------
+
+    def setup(self) -> None:
+        drive(self.env, self._setup())
+
+    def _setup(self) -> Any:
+        yield from self.adapter.create_table(TABLE, self.records * 2)
+        for key in range(self.records):
+            yield from self.adapter.load(
+                TABLE, key, ("ycsb", key, 0), self.value_size
+            )
+
+    # -- one operation as a transaction ----------------------------------------
+
+    def _pick_op(self, rng: random.Random) -> str:
+        roll = rng.random()
+        acc = 0.0
+        for op, fraction in self.mix.items():
+            acc += fraction
+            if roll < acc:
+                return op
+        return next(iter(self.mix))
+
+    def op_body(self, rng: random.Random):
+        op = self._pick_op(rng)
+        if op == "insert":
+            key = self._insert_counter
+            self._insert_counter += 1
+            self._chooser.grow(self._insert_counter)
+        else:
+            key = self._chooser.next_key() % self.records
+
+        def body(txn):
+            if op == "read":
+                value = yield from self.adapter.read(txn, TABLE, key)
+                return value
+            if op == "update":
+                yield from self.adapter.update(
+                    txn, TABLE, key, ("ycsb", key, 1), self.value_size
+                )
+                return None
+            if op == "insert":
+                yield from self.adapter.insert(
+                    txn, TABLE, key, ("ycsb", key, 0), self.value_size
+                )
+                return None
+            if op == "rmw":
+                value = yield from self.adapter.read_for_update(txn, TABLE, key)
+                version = value[2] + 1 if value else 0
+                yield from self.adapter.update(
+                    txn, TABLE, key, ("ycsb", key, version), self.value_size
+                )
+                return None
+            raise ValueError(f"unknown op {op!r}")
+
+        return body
+
+    # -- runner --------------------------------------------------------------
+
+    def run(self, threads: int = 8, ops_per_thread: int = 50) -> OltpResult:
+        rngs = [random.Random(self.seed + 997 * t) for t in range(threads)]
+
+        def make_body(thread_id: int, _i: int):
+            return self.op_body(rngs[thread_id])
+
+        return run_transactions(
+            self.env, self.adapter, make_body, threads, ops_per_thread
+        )

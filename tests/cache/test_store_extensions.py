@@ -1,0 +1,108 @@
+"""Store-level extensions: scan and snapshot passthroughs behave
+consistently with the transactional semantics above them."""
+
+import pytest
+
+from repro.cache import KamlStore
+from repro.config import KamlParams, ReproConfig
+from repro.kaml import KamlSsd, NamespaceAttributes
+from repro.sim import Environment
+
+
+def make_store():
+    env = Environment()
+    config = ReproConfig.small()
+    config = config.with_(kaml=KamlParams(num_logs=config.geometry.total_chips))
+    ssd = KamlSsd(env, config)
+    return env, ssd, KamlStore(env, ssd, cache_bytes=1 << 20)
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run_until(proc)
+    return proc.value
+
+
+def test_scan_sees_committed_transactions():
+    env, ssd, store = make_store()
+
+    def flow():
+        nsid = yield from store.create_namespace(
+            NamespaceAttributes(index_structure="sorted")
+        )
+        txn = store.transaction_begin()
+        for key in (3, 1, 7):
+            yield from store.transaction_insert(txn, nsid, key, ("r", key), 64)
+        yield from store.transaction_commit(txn)
+        store.transaction_free(txn)
+        results = yield from store.scan(nsid, 0, 5)
+        return results
+
+    assert run(env, flow()) == [(1, ("r", 1)), (3, ("r", 3))]
+
+
+def test_scan_does_not_see_uncommitted():
+    env, ssd, store = make_store()
+
+    def flow():
+        nsid = yield from store.create_namespace(
+            NamespaceAttributes(index_structure="sorted")
+        )
+        txn = store.transaction_begin()
+        yield from store.transaction_insert(txn, nsid, 1, "private", 64)
+        mid_scan = yield from store.scan(nsid, 0, 10)
+        yield from store.transaction_abort(txn)
+        store.transaction_free(txn)
+        post_scan = yield from store.scan(nsid, 0, 10)
+        return mid_scan, post_scan
+
+    mid_scan, post_scan = run(env, flow())
+    assert mid_scan == []  # staged only in the txn's private workspace
+    assert post_scan == []
+
+
+def test_snapshot_view_vs_ongoing_commits():
+    env, ssd, store = make_store()
+
+    def flow():
+        nsid = yield from store.create_namespace()
+        txn = store.transaction_begin()
+        yield from store.transaction_insert(txn, nsid, 1, "v1", 64)
+        yield from store.transaction_commit(txn)
+        store.transaction_free(txn)
+
+        snap = yield from store.snapshot(nsid)
+
+        txn = store.transaction_begin()
+        yield from store.transaction_update(txn, nsid, 1, "v2", 64)
+        yield from store.transaction_commit(txn)
+        store.transaction_free(txn)
+
+        frozen = yield from store.get_from_snapshot(snap, 1)
+        live = yield from store.get(nsid, 1)
+        yield from store.drop_snapshot(snap)
+        return frozen, live
+
+    assert run(env, flow()) == ("v1", "v2")
+
+
+def test_snapshot_includes_all_committed_work():
+    """Everything committed before the snapshot — even if still in the
+    SSD's staging pipeline — appears in the frozen view."""
+    env, ssd, store = make_store()
+
+    def flow():
+        nsid = yield from store.create_namespace()
+        for key in range(6):
+            txn = store.transaction_begin()
+            yield from store.transaction_insert(txn, nsid, key, ("pre", key), 64)
+            yield from store.transaction_commit(txn)
+            store.transaction_free(txn)
+        snap = yield from store.snapshot(nsid)
+        values = []
+        for key in range(6):
+            value = yield from store.get_from_snapshot(snap, key)
+            values.append(value)
+        return values
+
+    assert run(env, flow()) == [("pre", key) for key in range(6)]

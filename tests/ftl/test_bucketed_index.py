@@ -1,0 +1,79 @@
+"""Edge cases of the bucketized mapping table (KAML's default index)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ftl import BucketedHashIndex
+
+
+def test_scan_cost_grows_with_bucket_occupancy():
+    index = BucketedHashIndex(64, bucket_slots=8)
+    keys = list(range(40))
+    for key in keys:
+        index.insert(key, key)
+    scans = [index.lookup(key)[1] for key in keys]
+    assert max(scans) > 1
+    assert min(scans) >= 1
+
+
+def test_overflow_beyond_bucket_capacity():
+    """More keys than slots: buckets chain instead of failing."""
+    index = BucketedHashIndex(8, bucket_slots=8)  # one bucket
+    for key in range(20):
+        index.insert(key, key * 2)
+    assert len(index) == 20
+    assert index.load_factor > 1.0
+    for key in range(20):
+        assert index.lookup(key)[0] == key * 2
+    # Overflow entries cost extra DRAM.
+    assert index.memory_bytes > index.slot_count * index.SLOT_BYTES
+
+
+def test_delete_from_overflowed_bucket():
+    index = BucketedHashIndex(8, bucket_slots=8)
+    for key in range(12):
+        index.insert(key, key)
+    removed, _ = index.delete(5)
+    assert removed
+    assert index.lookup(5)[0] is None
+    assert len(index) == 11
+
+
+def test_update_does_not_grow():
+    index = BucketedHashIndex(64)
+    index.insert(1, "a")
+    created, _ = index.insert(1, "b")
+    assert not created
+    assert len(index) == 1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BucketedHashIndex(0)
+    with pytest.raises(ValueError):
+        BucketedHashIndex(64, bucket_slots=0)
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["insert", "delete", "lookup"]),
+                  st.integers(0, 40)),
+        max_size=150,
+    )
+)
+def test_random_ops_match_dict(ops):
+    index = BucketedHashIndex(64, bucket_slots=4)
+    model = {}
+    for op, key in ops:
+        if op == "insert":
+            index.insert(key, key * 3)
+            model[key] = key * 3
+        elif op == "delete":
+            removed, _ = index.delete(key)
+            assert removed == (key in model)
+            model.pop(key, None)
+        else:
+            assert index.lookup(key)[0] == model.get(key)
+    assert len(index) == len(model)
+    assert dict(index.items()) == model

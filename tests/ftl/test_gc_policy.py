@@ -1,0 +1,79 @@
+"""Unit tests for GC victim-selection policies."""
+
+import pytest
+
+from repro.ftl import CostBenefitPolicy, GcCandidate, GreedyPolicy, WearAwarePolicy
+
+
+def candidate(token, valid, erase, age=0.0):
+    return GcCandidate(token=token, valid_bytes=valid, erase_count=erase, age_us=age)
+
+
+def test_greedy_picks_least_valid():
+    policy = GreedyPolicy()
+    chosen = policy.choose([
+        candidate("a", valid=1000, erase=1),
+        candidate("b", valid=100, erase=9),
+        candidate("c", valid=500, erase=0),
+    ])
+    assert chosen.token == "b"
+
+
+def test_greedy_breaks_ties_by_erase_count():
+    policy = GreedyPolicy()
+    chosen = policy.choose([
+        candidate("a", valid=100, erase=5),
+        candidate("b", valid=100, erase=2),
+    ])
+    assert chosen.token == "b"
+
+
+def test_greedy_empty_returns_none():
+    assert GreedyPolicy().choose([]) is None
+
+
+def test_wear_aware_prefers_low_valid_and_low_erase():
+    policy = WearAwarePolicy()
+    chosen = policy.choose([
+        candidate("cold-worn", valid=100, erase=100),
+        candidate("cold-fresh", valid=100, erase=1),
+        candidate("hot-fresh", valid=10000, erase=1),
+    ])
+    assert chosen.token == "cold-fresh"
+
+
+def test_wear_aware_avoids_worn_block_despite_slightly_less_valid():
+    """Wear term steers selection away from heavily erased blocks."""
+    policy = WearAwarePolicy(valid_weight=0.5, wear_weight=0.5)
+    chosen = policy.choose([
+        candidate("worn", valid=900, erase=1000),
+        candidate("fresh", valid=1000, erase=10),
+    ])
+    assert chosen.token == "fresh"
+
+
+def test_wear_aware_weight_validation():
+    with pytest.raises(ValueError):
+        WearAwarePolicy(valid_weight=-1.0)
+    with pytest.raises(ValueError):
+        WearAwarePolicy(valid_weight=0.0, wear_weight=0.0)
+
+
+def test_cost_benefit_prefers_old_empty_blocks():
+    policy = CostBenefitPolicy(block_bytes=1000)
+    chosen = policy.choose([
+        candidate("young-full", valid=900, erase=0, age=1.0),
+        candidate("old-empty", valid=100, erase=0, age=1000.0),
+    ])
+    assert chosen.token == "old-empty"
+
+
+def test_cost_benefit_rejects_bad_block_size():
+    with pytest.raises(ValueError):
+        CostBenefitPolicy(block_bytes=0)
+
+
+def test_policies_handle_single_candidate():
+    only = candidate("only", valid=0, erase=0)
+    for policy in (GreedyPolicy(), WearAwarePolicy(), CostBenefitPolicy(1000)):
+        assert policy.choose([only]).token == "only"

@@ -1,0 +1,183 @@
+"""Unit + property tests for DirectMap and HashIndex."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ftl import DirectMap, HashIndex, IndexFullError
+
+
+# -- DirectMap ---------------------------------------------------------------
+
+def test_directmap_store_lookup_clear():
+    table = DirectMap(16)
+    assert table.lookup(3) is None
+    table.store(3, "loc-a")
+    assert table.lookup(3) == "loc-a"
+    table.store(3, "loc-b")
+    assert table.lookup(3) == "loc-b"
+    table.clear(3)
+    assert table.lookup(3) is None
+
+
+def test_directmap_memory_accounting():
+    table = DirectMap(1000)
+    assert table.memory_bytes == 4000
+    assert len(table) == 1000
+
+
+def test_directmap_mapped_count():
+    table = DirectMap(8)
+    table.store(0, "x")
+    table.store(5, "y")
+    assert table.mapped_count() == 2
+
+
+def test_directmap_rejects_empty():
+    with pytest.raises(ValueError):
+        DirectMap(0)
+
+
+# -- HashIndex ---------------------------------------------------------------
+
+def test_hash_insert_lookup():
+    index = HashIndex(64)
+    created, probes = index.insert(42, "addr-1")
+    assert created
+    assert probes >= 1
+    value, _ = index.lookup(42)
+    assert value == "addr-1"
+
+
+def test_hash_update_in_place():
+    index = HashIndex(64)
+    index.insert(42, "old")
+    created, _ = index.insert(42, "new")
+    assert not created
+    assert index.lookup(42)[0] == "new"
+    assert len(index) == 1
+
+
+def test_hash_lookup_missing():
+    index = HashIndex(64)
+    value, probes = index.lookup(7)
+    assert value is None
+    assert probes == 1
+
+
+def test_hash_delete():
+    index = HashIndex(64)
+    index.insert(1, "a")
+    removed, _ = index.delete(1)
+    assert removed
+    assert index.lookup(1)[0] is None
+    assert len(index) == 0
+    removed, _ = index.delete(1)
+    assert not removed
+
+
+def test_hash_delete_preserves_probe_chains():
+    """A tombstone must not hide keys that probed past the deleted slot."""
+    index = HashIndex(8)
+    # Force collisions by filling a small table.
+    keys = list(range(20, 26))
+    for key in keys:
+        index.insert(key, f"v{key}")
+    index.delete(keys[0])
+    for key in keys[1:]:
+        assert index.lookup(key)[0] == f"v{key}", key
+
+
+def test_hash_tombstone_reuse():
+    index = HashIndex(8)
+    for key in range(6):
+        index.insert(key, key)
+    index.delete(0)
+    index.insert(100, "reused")
+    assert index.lookup(100)[0] == "reused"
+    assert len(index) == 6
+
+
+def test_hash_full_raises():
+    index = HashIndex(4)
+    for key in range(4):
+        index.insert(key, key)
+    with pytest.raises(IndexFullError):
+        index.insert(99, "overflow")
+
+
+def test_hash_load_factor_and_memory():
+    index = HashIndex(100)
+    for key in range(25):
+        index.insert(key, key)
+    assert index.load_factor == pytest.approx(0.25)
+    assert index.memory_bytes == 1600
+
+
+def test_hash_probes_grow_with_load_factor():
+    """The Figure 5a mechanism: denser tables need more probes."""
+
+    def average_probes(load):
+        index = HashIndex(1024)
+        keys = list(range(int(1024 * load)))
+        for key in keys:
+            index.insert(key, key)
+        total = sum(index.lookup(key)[1] for key in keys)
+        return total / len(keys)
+
+    sparse = average_probes(0.1)
+    half = average_probes(0.4)
+    dense = average_probes(0.85)
+    assert sparse < half < dense
+    assert dense > 2.0 * sparse
+
+
+def test_hash_sized_for():
+    index = HashIndex.sized_for(75, target_load=0.75)
+    assert index.slot_count >= 100
+    for key in range(75):
+        index.insert(key, key)
+    assert index.load_factor <= 0.75 + 0.01
+
+
+def test_hash_items_iterates_live_entries():
+    index = HashIndex(32)
+    for key in range(5):
+        index.insert(key, key * 10)
+    index.delete(2)
+    items = dict(index.items())
+    assert items == {0: 0, 1: 10, 3: 30, 4: 40}
+
+
+@settings(max_examples=50)
+@given(st.dictionaries(st.integers(0, 2**64 - 1), st.integers(), max_size=60))
+def test_hash_matches_dict_semantics(model):
+    index = HashIndex(256)
+    for key, value in model.items():
+        index.insert(key, value)
+    assert len(index) == len(model)
+    for key, value in model.items():
+        assert index.lookup(key)[0] == value
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["insert", "delete", "lookup"]), st.integers(0, 30)),
+        max_size=120,
+    )
+)
+def test_hash_random_ops_match_dict(ops):
+    index = HashIndex(128)
+    model = {}
+    for op, key in ops:
+        if op == "insert":
+            index.insert(key, key * 7)
+            model[key] = key * 7
+        elif op == "delete":
+            removed, _ = index.delete(key)
+            assert removed == (key in model)
+            model.pop(key, None)
+        else:
+            assert index.lookup(key)[0] == model.get(key)
+    assert len(index) == len(model)
+    assert dict(index.items()) == model

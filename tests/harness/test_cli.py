@@ -1,0 +1,34 @@
+"""The `python -m repro.harness` command-line interface."""
+
+import pytest
+
+from repro.harness.__main__ import EXPERIMENTS, main
+
+
+def test_list_flag(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig5", "fig9", "conflicts", "qos"):
+        assert name in out
+
+
+def test_no_args_lists(capsys):
+    assert main([]) == 0
+    assert "fig10" in capsys.readouterr().out
+
+
+def test_unknown_experiment_errors(capsys):
+    assert main(["fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_runs_cheap_experiment(capsys):
+    assert main(["conflicts"]) == 0
+    out = capsys.readouterr().out
+    assert "records/lock" in out
+    assert "finished in" in out
+
+
+def test_registry_covers_every_figure():
+    for figure in ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10"):
+        assert figure in EXPERIMENTS

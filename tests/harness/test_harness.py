@@ -1,0 +1,80 @@
+"""Tests for stack builders and report formatting."""
+
+import pytest
+
+from repro.baseline import LockGranularity
+from repro.config import ReproConfig
+from repro.harness import (
+    build_block_device,
+    build_kaml_ssd,
+    build_kaml_store,
+    build_shore_engine,
+    format_kv,
+    format_table,
+)
+
+
+def test_build_kaml_ssd_defaults():
+    env, ssd = build_kaml_ssd(config=ReproConfig.small())
+    assert len(ssd.logs) == ssd.geometry.total_chips
+
+
+def test_build_kaml_ssd_num_logs():
+    env, ssd = build_kaml_ssd(num_logs=16)
+    assert len(ssd.logs) == 16
+    assert len({log.channel for log in ssd.logs}) == 16
+
+
+def test_build_kaml_store():
+    env, ssd, store = build_kaml_store(cache_bytes=1 << 20, records_per_lock=4,
+                                       config=ReproConfig.small())
+    assert store.locks.records_per_lock == 4
+    assert store.buffer.capacity_bytes == 1 << 20
+
+
+def test_build_block_device_preconditioned():
+    env, device = build_block_device(config=ReproConfig.small())
+    assert device.ftl.map.mapped_count() == device.logical_pages
+
+
+def test_build_block_device_clean():
+    env, device = build_block_device(config=ReproConfig.small(), preconditioned=False)
+    assert device.ftl.map.mapped_count() == 0
+
+
+def test_build_shore_engine():
+    env, engine = build_shore_engine(pool_pages=32, config=ReproConfig.small(),
+                                     granularity=LockGranularity.PAGE,
+                                     checkpoint_interval_us=None, log_pages=64)
+    assert engine.granularity is LockGranularity.PAGE
+    assert engine.pool.capacity_pages == 32
+
+
+def test_format_table_alignment():
+    text = format_table("T", ["a", "bee"], [[1, 2.5], ["long-cell", 0.001]])
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[1] == "="
+    assert "a" in lines[2] and "bee" in lines[2]
+    assert "long-cell" in lines[5]
+    assert "0.001" in lines[5]
+
+
+def test_format_table_empty_rows():
+    text = format_table("Empty", ["x"], [])
+    assert "Empty" in text
+    assert "x" in text
+
+
+def test_format_kv():
+    text = format_kv("Stats", {"throughput": 1234.5, "name": "abc"})
+    assert "Stats" in text
+    assert "1,234" in text
+    assert "abc" in text
+
+
+def test_float_rendering_ranges():
+    text = format_table("R", ["v"], [[123456.0], [12.345], [0.5]])
+    assert "123,456" in text
+    assert "12.35" in text or "12.34" in text
+    assert "0.500" in text

@@ -1,0 +1,35 @@
+"""Every example script must run to completion (they are the quickstart
+documentation; a broken example is a broken README)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_module(name):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_module(name)
+    if hasattr(module, "main"):
+        module.main()
+    else:
+        module.crash_recovery_demo()
+        module.snapshot_demo()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} printed nothing"

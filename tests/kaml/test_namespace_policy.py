@@ -1,0 +1,152 @@
+"""Unit tests for namespace attributes, log policies, and the lock table."""
+
+import pytest
+
+from repro.ftl import BucketedHashIndex, HashIndex
+from repro.ftl.locktable import LockTable
+from repro.kaml import AllLogsPolicy, DedicatedLogsPolicy, ExplicitLogsPolicy
+from repro.kaml.mapping_policy import LogAssignmentError
+from repro.kaml.namespace import Namespace, NamespaceAttributes, NamespaceError
+from repro.sim import Environment
+
+
+# -- attributes ----------------------------------------------------------------
+
+def test_attributes_validation():
+    with pytest.raises(NamespaceError):
+        NamespaceAttributes(expected_keys=0).validate()
+    with pytest.raises(NamespaceError):
+        NamespaceAttributes(target_load=1.5).validate()
+    with pytest.raises(NamespaceError):
+        NamespaceAttributes(index_structure="btree").validate()
+    NamespaceAttributes().validate()
+
+
+def test_build_index_structures():
+    bucket = Namespace.build_index(NamespaceAttributes(index_structure="bucket"), 8)
+    open_addr = Namespace.build_index(NamespaceAttributes(index_structure="open"), 8)
+    assert isinstance(bucket, BucketedHashIndex)
+    assert isinstance(open_addr, HashIndex)
+
+
+def test_namespace_round_robin_logs():
+    ns = Namespace(1, NamespaceAttributes(), BucketedHashIndex(64), [3, 5, 9])
+    picks = [ns.next_log_id() for _ in range(6)]
+    assert picks == [3, 5, 9, 3, 5, 9]
+
+
+def test_namespace_without_logs_raises():
+    ns = Namespace(1, NamespaceAttributes(), BucketedHashIndex(64), [])
+    with pytest.raises(NamespaceError):
+        ns.next_log_id()
+
+
+def test_require_resident():
+    ns = Namespace(1, NamespaceAttributes(), BucketedHashIndex(64), [0])
+    ns.require_resident()
+    ns.resident = False
+    with pytest.raises(NamespaceError):
+        ns.require_resident()
+
+
+# -- log policies ---------------------------------------------------------------
+
+LOGS = list(range(8))
+
+
+def test_all_logs_policy():
+    assert AllLogsPolicy().select(LOGS, {}) == LOGS
+
+
+def test_dedicated_picks_least_subscribed():
+    subscribers = {0: 3, 1: 0, 2: 1, 3: 0, 4: 5, 5: 2, 6: 0, 7: 9}
+    chosen = DedicatedLogsPolicy(3).select(LOGS, subscribers)
+    assert chosen == [1, 3, 6]
+
+
+def test_dedicated_validation():
+    with pytest.raises(LogAssignmentError):
+        DedicatedLogsPolicy(0)
+    with pytest.raises(LogAssignmentError):
+        DedicatedLogsPolicy(99).select(LOGS, {})
+
+
+def test_explicit_policy():
+    assert ExplicitLogsPolicy([2, 4]).select(LOGS, {}) == [2, 4]
+    with pytest.raises(LogAssignmentError):
+        ExplicitLogsPolicy([])
+    with pytest.raises(LogAssignmentError):
+        ExplicitLogsPolicy([1, 1])
+    with pytest.raises(LogAssignmentError):
+        ExplicitLogsPolicy([99]).select(LOGS, {})
+
+
+# -- lock table -----------------------------------------------------------------
+
+def test_locktable_mutual_exclusion():
+    env = Environment()
+    table = LockTable(env)
+    order = []
+
+    def proc(tag):
+        yield from table.acquire("k", owner=tag)
+        order.append((tag, env.now))
+        yield env.timeout(5.0)
+        table.release("k")
+
+    env.process(proc("a"))
+    env.process(proc("b"))
+    env.run()
+    assert order == [("a", 0.0), ("b", 5.0)]
+
+
+def test_locktable_discards_free_locks():
+    env = Environment()
+    table = LockTable(env)
+
+    def proc():
+        yield from table.acquire("x")
+        assert len(table) == 1
+        table.release("x")
+        assert len(table) == 0
+
+    env.process(proc())
+    env.run()
+
+
+def test_locktable_independent_keys_dont_block():
+    env = Environment()
+    table = LockTable(env)
+    grants = []
+
+    def proc(key):
+        yield from table.acquire(key)
+        grants.append((key, env.now))
+        yield env.timeout(10.0)
+        table.release(key)
+
+    env.process(proc("a"))
+    env.process(proc("b"))
+    env.run()
+    assert [t for _k, t in grants] == [0.0, 0.0]
+
+
+def test_locktable_release_unlocked_raises():
+    env = Environment()
+    table = LockTable(env)
+    with pytest.raises(KeyError):
+        table.release("never")
+
+
+def test_locktable_is_locked():
+    env = Environment()
+    table = LockTable(env)
+
+    def proc():
+        yield from table.acquire("k")
+        assert table.is_locked("k")
+        table.release("k")
+        assert not table.is_locked("k")
+
+    env.process(proc())
+    env.run()

@@ -1,0 +1,178 @@
+"""The sorted mapping table and the range-Scan extension (Section IV-C's
+per-namespace index flexibility)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import KamlParams, ReproConfig
+from repro.ftl import SortedIndex
+from repro.kaml import KamlError, KamlSsd, NamespaceAttributes, PutItem
+from repro.sim import Environment
+
+
+# -- SortedIndex unit tests ----------------------------------------------------
+
+def test_sorted_insert_lookup_delete():
+    index = SortedIndex()
+    created, probes = index.insert(5, "a")
+    assert created and probes >= 1
+    assert index.lookup(5)[0] == "a"
+    index.insert(5, "b")
+    assert index.lookup(5)[0] == "b"
+    assert len(index) == 1
+    removed, _ = index.delete(5)
+    assert removed
+    assert index.lookup(5)[0] is None
+
+
+def test_sorted_range_inclusive():
+    index = SortedIndex()
+    for key in (10, 20, 30, 40):
+        index.insert(key, f"v{key}")
+    assert list(index.range(20, 30)) == [(20, "v20"), (30, "v30")]
+    assert list(index.range(0, 5)) == []
+    assert list(index.range(35, 100)) == [(40, "v40")]
+
+
+def test_sorted_items_in_order():
+    index = SortedIndex()
+    for key in (3, 1, 2):
+        index.insert(key, key)
+    assert [k for k, _v in index.items()] == [1, 2, 3]
+
+
+@settings(max_examples=50)
+@given(st.dictionaries(st.integers(0, 1000), st.integers(), max_size=50),
+       st.integers(0, 1000), st.integers(0, 1000))
+def test_sorted_range_matches_model(model, a, b):
+    low, high = min(a, b), max(a, b)
+    index = SortedIndex()
+    for key, value in model.items():
+        index.insert(key, value)
+    expected = sorted((k, v) for k, v in model.items() if low <= k <= high)
+    assert list(index.range(low, high)) == expected
+
+
+def test_sorted_memory_and_load():
+    index = SortedIndex.sized_for(100)
+    assert index.memory_bytes > 0
+    index.insert(1, "x")
+    assert 0 < index.load_factor <= 1.0
+
+
+# -- Scan command ----------------------------------------------------------------
+
+def make_ssd():
+    env = Environment()
+    config = ReproConfig.small()
+    config = config.with_(kaml=KamlParams(num_logs=config.geometry.total_chips))
+    return env, KamlSsd(env, config)
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run_until(proc)
+    return proc.value
+
+
+def test_scan_returns_range_in_order():
+    env, ssd = make_ssd()
+
+    def flow():
+        nsid = yield from ssd.create_namespace(
+            NamespaceAttributes(index_structure="sorted")
+        )
+        yield from ssd.put([PutItem(nsid, k, ("v", k), 128) for k in (5, 1, 9, 3, 7)])
+        yield from ssd.drain()
+        results = yield from ssd.scan(nsid, 2, 8)
+        return results
+
+    assert run(env, flow()) == [(3, ("v", 3)), (5, ("v", 5)), (7, ("v", 7))]
+
+
+def test_scan_sees_staged_writes():
+    """Acknowledged Puts are visible to Scan before they hit flash."""
+    env, ssd = make_ssd()
+
+    def flow():
+        nsid = yield from ssd.create_namespace(
+            NamespaceAttributes(index_structure="sorted")
+        )
+        yield from ssd.put([PutItem(nsid, 4, "staged-only", 128)])
+        results = yield from ssd.scan(nsid, 0, 10)
+        return results
+
+    assert run(env, flow()) == [(4, "staged-only")]
+
+
+def test_scan_merges_staged_update_over_flash():
+    env, ssd = make_ssd()
+
+    def flow():
+        nsid = yield from ssd.create_namespace(
+            NamespaceAttributes(index_structure="sorted")
+        )
+        yield from ssd.put([PutItem(nsid, 2, "old", 128)])
+        yield from ssd.drain()
+        yield from ssd.put([PutItem(nsid, 2, "new", 128)])  # staged
+        results = yield from ssd.scan(nsid, 0, 10)
+        return results
+
+    assert run(env, flow()) == [(2, "new")]
+
+
+def test_scan_requires_sorted_namespace():
+    env, ssd = make_ssd()
+
+    def flow():
+        nsid = yield from ssd.create_namespace()  # default bucket hash
+        yield from ssd.scan(nsid, 0, 10)
+
+    with pytest.raises(KamlError):
+        run(env, flow())
+
+
+def test_scan_empty_range_validation():
+    env, ssd = make_ssd()
+
+    def flow():
+        nsid = yield from ssd.create_namespace(
+            NamespaceAttributes(index_structure="sorted")
+        )
+        yield from ssd.scan(nsid, 10, 2)
+
+    with pytest.raises(KamlError):
+        run(env, flow())
+
+
+def test_sorted_namespace_full_api_roundtrip():
+    """Get/Put/Delete work identically on a sorted namespace."""
+    env, ssd = make_ssd()
+
+    def flow():
+        nsid = yield from ssd.create_namespace(
+            NamespaceAttributes(index_structure="sorted")
+        )
+        yield from ssd.put([PutItem(nsid, 1, "one", 64)])
+        value = yield from ssd.get(nsid, 1)
+        removed = yield from ssd.delete(nsid, 1)
+        gone = yield from ssd.get(nsid, 1)
+        return value, removed, gone
+
+    assert run(env, flow()) == ("one", True, None)
+
+
+def test_scan_excludes_deleted_keys():
+    env, ssd = make_ssd()
+
+    def flow():
+        nsid = yield from ssd.create_namespace(
+            NamespaceAttributes(index_structure="sorted")
+        )
+        yield from ssd.put([PutItem(nsid, k, k, 64) for k in range(5)])
+        yield from ssd.drain()
+        yield from ssd.delete(nsid, 2)
+        results = yield from ssd.scan(nsid, 0, 4)
+        return [k for k, _v in results]
+
+    assert run(env, flow()) == [0, 1, 3, 4]

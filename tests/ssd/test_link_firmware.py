@@ -1,0 +1,116 @@
+"""Unit tests for the PCIe interconnect model and firmware pool."""
+
+import pytest
+
+from repro.config import InterconnectTimings
+from repro.sim import Environment
+from repro.ssd import FirmwarePool, HostInterconnect
+
+
+TIMINGS = InterconnectTimings(bytes_per_us=3200.0, command_us=6.0)
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run()
+    return proc.value
+
+
+def test_command_overhead_time():
+    env = Environment()
+    link = HostInterconnect(env, TIMINGS)
+
+    def flow():
+        yield from link.command_overhead()
+        return env.now
+
+    assert run(env, flow()) == pytest.approx(6.0)
+    assert link.commands == 1
+
+
+def test_transfer_time_scales_with_bytes():
+    env = Environment()
+    link = HostInterconnect(env, TIMINGS)
+
+    def flow():
+        yield from link.host_to_device(3200 * 10)
+        return env.now
+
+    assert run(env, flow()) == pytest.approx(10.0)
+    assert link.bytes_to_device == 32000
+
+
+def test_directions_are_independent():
+    env = Environment()
+    link = HostInterconnect(env, TIMINGS)
+
+    def tx(env):
+        yield from link.host_to_device(32000)
+        return env.now
+
+    def rx(env):
+        yield from link.device_to_host(32000)
+        return env.now
+
+    p1 = env.process(tx(env))
+    p2 = env.process(rx(env))
+    env.run()
+    assert p1.value == pytest.approx(10.0)
+    assert p2.value == pytest.approx(10.0)
+
+
+def test_same_direction_serializes():
+    env = Environment()
+    link = HostInterconnect(env, TIMINGS)
+
+    def tx(env):
+        yield from link.host_to_device(32000)
+        return env.now
+
+    p1 = env.process(tx(env))
+    p2 = env.process(tx(env))
+    env.run()
+    assert sorted([p1.value, p2.value]) == [pytest.approx(10.0), pytest.approx(20.0)]
+
+
+def test_zero_byte_transfer_is_free():
+    env = Environment()
+    link = HostInterconnect(env, TIMINGS)
+
+    def flow():
+        yield from link.host_to_device(0)
+        yield env.timeout(0.0)
+        return env.now
+
+    assert run(env, flow()) == 0.0
+
+
+def test_firmware_pool_limits_concurrency():
+    env = Environment()
+    pool = FirmwarePool(env, contexts=2)
+    done = []
+
+    def job(env, tag):
+        yield from pool.execute(10.0)
+        done.append((tag, env.now))
+
+    for tag in range(3):
+        env.process(job(env, tag))
+    env.run()
+    times = sorted(t for _, t in done)
+    assert times == [pytest.approx(10.0), pytest.approx(10.0), pytest.approx(20.0)]
+    assert pool.busy_us == pytest.approx(30.0)
+
+
+def test_firmware_zero_cost_is_free():
+    env = Environment()
+    pool = FirmwarePool(env, contexts=1)
+
+    def job(env):
+        yield from pool.execute(0.0)
+        yield env.timeout(0.0)
+        return env.now
+
+    p = env.process(job(env))
+    env.run()
+    assert p.value == 0.0

@@ -1,0 +1,74 @@
+"""Unit tests for key-request distributions."""
+
+import pytest
+
+from repro.workloads import LatestChooser, UniformChooser, ZipfianChooser
+
+
+def test_uniform_covers_space():
+    chooser = UniformChooser(100, seed=1)
+    keys = {chooser.next_key() for _ in range(5000)}
+    assert min(keys) >= 0
+    assert max(keys) < 100
+    assert len(keys) == 100
+
+
+def test_uniform_deterministic_with_seed():
+    a = [UniformChooser(1000, seed=9).next_key() for _ in range(50)]
+    b = [UniformChooser(1000, seed=9).next_key() for _ in range(50)]
+    assert a == b
+
+
+def test_uniform_rejects_empty():
+    with pytest.raises(ValueError):
+        UniformChooser(0)
+
+
+def test_zipfian_is_skewed():
+    chooser = ZipfianChooser(1000, seed=2)
+    counts = {}
+    for _ in range(20000):
+        key = chooser.next_key()
+        counts[key] = counts.get(key, 0) + 1
+    top = sorted(counts.values(), reverse=True)
+    # The hottest key should take a few percent of the traffic; with 1000
+    # uniform keys it would take 0.1%.
+    assert top[0] / 20000 > 0.02
+    # And the head dominates the tail.
+    assert sum(top[:10]) > 5 * sum(top[-10:])
+
+
+def test_zipfian_in_range():
+    chooser = ZipfianChooser(500, seed=3)
+    for _ in range(2000):
+        assert 0 <= chooser.next_key() < 500
+
+
+def test_zipfian_hottest_keys_are_hot():
+    chooser = ZipfianChooser(1000, seed=4)
+    hottest = set(chooser.hottest_keys(5))
+    counts = {}
+    for _ in range(30000):
+        key = chooser.next_key()
+        counts[key] = counts.get(key, 0) + 1
+    observed_top = {k for k, _ in sorted(counts.items(), key=lambda kv: -kv[1])[:5]}
+    assert len(hottest & observed_top) >= 3
+
+
+def test_zipfian_unscrambled_prefers_low_ranks():
+    chooser = ZipfianChooser(1000, seed=5, scrambled=False)
+    low = sum(1 for _ in range(10000) if chooser.next_key() < 10)
+    assert low > 2000  # rank-0..9 get a large share
+
+
+def test_latest_prefers_recent():
+    chooser = LatestChooser(1000, seed=6)
+    recent = sum(1 for _ in range(10000) if chooser.next_key() >= 990)
+    assert recent > 2000
+
+
+def test_latest_grow_shifts_head():
+    chooser = LatestChooser(10, seed=7)
+    chooser.grow(1000)
+    keys = [chooser.next_key() for _ in range(2000)]
+    assert max(keys) >= 990

@@ -1,0 +1,102 @@
+"""Workload fidelity: YCSB operation mixes, adapter symmetry, determinism."""
+
+import random
+
+import pytest
+
+from repro.config import KamlParams, ReproConfig
+from repro.kaml import KamlSsd
+from repro.cache import KamlStore
+from repro.sim import Environment
+from repro.workloads import KamlAdapter, TpcB, Ycsb
+from repro.workloads.ycsb import YCSB_MIXES
+
+
+def make_adapter():
+    env = Environment()
+    config = ReproConfig.small()
+    config = config.with_(kaml=KamlParams(num_logs=config.geometry.total_chips))
+    ssd = KamlSsd(env, config)
+    store = KamlStore(env, ssd, cache_bytes=8 << 20)
+    return env, KamlAdapter(store)
+
+
+# -- Table III mixes --------------------------------------------------------------
+
+def test_mixes_sum_to_one():
+    for workload, mix in YCSB_MIXES.items():
+        assert sum(mix.values()) == pytest.approx(1.0), workload
+
+
+def test_mix_matches_table_iii():
+    assert YCSB_MIXES["a"] == {"read": 0.5, "update": 0.5}
+    assert YCSB_MIXES["b"] == {"read": 0.95, "update": 0.05}
+    assert YCSB_MIXES["c"] == {"read": 1.0}
+    assert YCSB_MIXES["d"] == {"read": 0.95, "insert": 0.05}
+    assert YCSB_MIXES["f"] == {"read": 0.5, "rmw": 0.5}
+
+
+@pytest.mark.parametrize("workload", ["a", "b", "d", "f"])
+def test_op_sampling_follows_mix(workload):
+    env, adapter = make_adapter()
+    ycsb = Ycsb(env, adapter, records=100, workload=workload, seed=17)
+    rng = random.Random(99)
+    draws = [ycsb._pick_op(rng) for _ in range(8000)]
+    for op, fraction in YCSB_MIXES[workload].items():
+        observed = draws.count(op) / len(draws)
+        assert observed == pytest.approx(fraction, abs=0.03), (workload, op)
+
+
+def test_workload_c_is_pure_read():
+    env, adapter = make_adapter()
+    ycsb = Ycsb(env, adapter, records=100, workload="c", seed=17)
+    rng = random.Random(1)
+    assert {ycsb._pick_op(rng) for _ in range(500)} == {"read"}
+
+
+# -- determinism --------------------------------------------------------------------
+
+def test_tpcb_is_deterministic():
+    def run_once():
+        env, adapter = make_adapter()
+        tpcb = TpcB(env, adapter, branches=1, accounts_per_branch=40, seed=5)
+        tpcb.setup()
+        result = tpcb.run(threads=4, txns_per_thread=5)
+        return result.tps, result.transactions
+
+    assert run_once() == run_once()
+
+
+def test_ycsb_is_deterministic():
+    def run_once():
+        env, adapter = make_adapter()
+        ycsb = Ycsb(env, adapter, records=120, workload="a", seed=23)
+        ycsb.setup()
+        result = ycsb.run(threads=4, ops_per_thread=8)
+        return result.tps, result.transactions
+
+    assert run_once() == run_once()
+
+
+# -- TPC-B structural checks ------------------------------------------------------
+
+def test_tpcb_key_encodings_disjoint():
+    env, adapter = make_adapter()
+    tpcb = TpcB(env, adapter, branches=3, tellers_per_branch=10,
+                accounts_per_branch=100)
+    teller_keys = {
+        tpcb.teller_key(b, t) for b in range(3) for t in range(10)
+    }
+    account_keys = {
+        tpcb.account_key(b, a) for b in range(3) for a in range(100)
+    }
+    assert len(teller_keys) == 30
+    assert len(account_keys) == 300
+
+
+def test_tpcb_history_grows():
+    env, adapter = make_adapter()
+    tpcb = TpcB(env, adapter, branches=1, accounts_per_branch=30, seed=3)
+    tpcb.setup()
+    tpcb.run(threads=2, txns_per_thread=5)
+    assert tpcb._history_counter == 10

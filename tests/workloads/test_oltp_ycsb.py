@@ -1,0 +1,139 @@
+"""TPC-B, TPC-C, and YCSB run correctly on both stacks (small scale)."""
+
+import pytest
+
+from repro.baseline import LockGranularity, ShoreMtEngine
+from repro.cache import KamlStore
+from repro.config import KamlParams, ReproConfig
+from repro.kaml import KamlSsd
+from repro.sim import Environment
+from repro.workloads import KamlAdapter, ShoreAdapter, TpcB, TpcC, Ycsb
+
+
+def make_kaml_adapter(records_per_lock=1):
+    env = Environment()
+    config = ReproConfig().with_(
+        kaml=KamlParams(num_logs=ReproConfig().geometry.total_chips)
+    )
+    ssd = KamlSsd(env, config)
+    store = KamlStore(env, ssd, cache_bytes=64 << 20, records_per_lock=records_per_lock)
+    return env, KamlAdapter(store)
+
+
+def make_shore_adapter(granularity=LockGranularity.RECORD):
+    env = Environment()
+    engine = ShoreMtEngine(
+        env, ReproConfig(), pool_pages=4096, granularity=granularity,
+        checkpoint_interval_us=None, log_pages=4096,
+    )
+    return env, ShoreAdapter(engine)
+
+
+# -- TPC-B ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("make_adapter", [make_kaml_adapter, make_shore_adapter])
+def test_tpcb_runs_and_commits(make_adapter):
+    env, adapter = make_adapter()
+    tpcb = TpcB(env, adapter, branches=2, accounts_per_branch=50)
+    tpcb.setup()
+    result = tpcb.run(threads=4, txns_per_thread=5)
+    assert result.transactions == 20
+    assert result.tps > 0
+    assert adapter.committed >= 20
+
+
+def test_tpcb_balances_consistent_kaml():
+    """Sum of account deltas equals branch balances (isolation check)."""
+    env, adapter = make_kaml_adapter()
+    tpcb = TpcB(env, adapter, branches=1, accounts_per_branch=20)
+    tpcb.setup()
+    tpcb.run(threads=4, txns_per_thread=5)
+
+    def check():
+        total_accounts = 0
+        for account in range(20):
+            value = yield from adapter.store.get(adapter.namespace_of("account"), account)
+            total_accounts += value or 0
+        branch = yield from adapter.store.get(adapter.namespace_of("branch"), 0)
+        return total_accounts, branch or 0
+
+    proc = env.process(check())
+    env.run()
+    total_accounts, branch_total = proc.value
+    assert total_accounts == branch_total
+
+
+# -- TPC-C ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("make_adapter", [make_kaml_adapter, make_shore_adapter])
+def test_tpcc_new_order_and_payment(make_adapter):
+    env, adapter = make_adapter()
+    tpcc = TpcC(env, adapter, warehouses=1, districts_per_warehouse=2,
+                customers_per_district=10, items=50)
+    tpcc.setup()
+    new_order = tpcc.run_new_order(threads=2, txns_per_thread=3)
+    payment = tpcc.run_payment(threads=2, txns_per_thread=3)
+    assert new_order.transactions == 6
+    assert payment.transactions == 6
+    assert new_order.tps > 0
+    assert payment.tps > 0
+
+
+def test_tpcc_order_ids_unique_kaml():
+    env, adapter = make_kaml_adapter()
+    tpcc = TpcC(env, adapter, warehouses=1, districts_per_warehouse=1,
+                customers_per_district=10, items=50)
+    tpcc.setup()
+    tpcc.run_new_order(threads=4, txns_per_thread=3)
+
+    def check():
+        district = yield from adapter.store.get(
+            adapter.namespace_of("district"), tpcc.district_key(0, 0)
+        )
+        orders = []
+        for o_id in range(1, district[2]):
+            order = yield from adapter.store.get(
+                adapter.namespace_of("orders"), tpcc.order_key(0, 0, o_id)
+            )
+            orders.append(order)
+        return district[2], orders
+
+    proc = env.process(check())
+    env.run()
+    next_o_id, orders = proc.value
+    assert next_o_id == 13  # 12 committed NewOrders, ids 1..12
+    assert all(order is not None for order in orders)
+
+
+# -- YCSB ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("workload", ["a", "b", "c", "d", "f"])
+def test_ycsb_workloads_on_kaml(workload):
+    env, adapter = make_kaml_adapter()
+    ycsb = Ycsb(env, adapter, records=200, workload=workload)
+    ycsb.setup()
+    result = ycsb.run(threads=4, ops_per_thread=10)
+    assert result.transactions == 40
+    assert result.tps > 0
+
+
+def test_ycsb_on_shore():
+    env, adapter = make_shore_adapter()
+    ycsb = Ycsb(env, adapter, records=200, workload="a")
+    ycsb.setup()
+    result = ycsb.run(threads=4, ops_per_thread=10)
+    assert result.transactions == 40
+
+
+def test_ycsb_rejects_unknown_workload():
+    env, adapter = make_kaml_adapter()
+    with pytest.raises(ValueError):
+        Ycsb(env, adapter, records=10, workload="z")
+
+
+def test_ycsb_insert_workload_grows_keyspace():
+    env, adapter = make_kaml_adapter()
+    ycsb = Ycsb(env, adapter, records=100, workload="d", seed=3)
+    ycsb.setup()
+    ycsb.run(threads=4, ops_per_thread=20)
+    assert ycsb._insert_counter > 100

@@ -1,0 +1,159 @@
+"""Trace format round-trips, synthetic generation, and replay."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import KamlParams, ReproConfig
+from repro.kaml import KamlSsd
+from repro.sim import Environment
+from repro.workloads.oltp import drive
+from repro.workloads.trace import (
+    Trace,
+    TraceError,
+    TraceOp,
+    replay,
+    sequential_fill,
+    synthesize,
+)
+
+
+def make_ssd():
+    env = Environment()
+    config = ReproConfig.small()
+    config = config.with_(kaml=KamlParams(num_logs=config.geometry.total_chips))
+    return env, KamlSsd(env, config)
+
+
+# -- format -----------------------------------------------------------------
+
+def test_dumps_loads_roundtrip():
+    trace = Trace([
+        TraceOp("put", 5, 1024),
+        TraceOp("get", 5),
+        TraceOp("delete", 5),
+    ])
+    assert Trace.loads(trace.dumps()).ops == trace.ops
+
+
+OPS = st.lists(
+    st.one_of(
+        st.builds(TraceOp, st.just("get"), st.integers(0, 10**9), st.just(0)),
+        st.builds(TraceOp, st.just("delete"), st.integers(0, 10**9), st.just(0)),
+        st.builds(TraceOp, st.just("put"), st.integers(0, 10**9),
+                  st.integers(1, 10**6)),
+    ),
+    max_size=50,
+)
+
+
+@settings(max_examples=50)
+@given(OPS)
+def test_roundtrip_property(ops):
+    trace = Trace(ops)
+    assert Trace.loads(trace.dumps()).ops == ops
+
+
+def test_loads_skips_comments_and_blanks():
+    text = "# header\n\nget 1\n  # indented comment\nput 2 512\n"
+    trace = Trace.loads(text)
+    assert trace.ops == [TraceOp("get", 1), TraceOp("put", 2, 512)]
+
+
+def test_loads_rejects_malformed():
+    with pytest.raises(TraceError):
+        Trace.loads("put 5\n")          # missing size
+    with pytest.raises(TraceError):
+        Trace.loads("frobnicate 1\n")   # unknown op
+    with pytest.raises(TraceError):
+        Trace.loads("get abc\n")        # non-integer key
+
+
+def test_statistics():
+    trace = Trace([TraceOp("get", 1), TraceOp("get", 2), TraceOp("put", 1, 10)])
+    assert trace.op_counts() == {"get": 2, "put": 1, "delete": 0}
+    assert trace.working_set() == 2
+
+
+# -- synthesis -----------------------------------------------------------------
+
+def test_synthesize_mix_fractions():
+    trace = synthesize(4000, key_space=500, read_fraction=0.7,
+                       delete_fraction=0.1, seed=3)
+    counts = trace.op_counts()
+    assert counts["get"] / len(trace) == pytest.approx(0.7, abs=0.04)
+    assert counts["delete"] / len(trace) == pytest.approx(0.1, abs=0.03)
+    assert counts["put"] / len(trace) == pytest.approx(0.2, abs=0.04)
+
+
+def test_synthesize_zipfian_is_skewed():
+    trace = synthesize(5000, key_space=1000, read_fraction=1.0,
+                       distribution="zipfian", seed=4)
+    counts = {}
+    for op in trace:
+        counts[op.key] = counts.get(op.key, 0) + 1
+    hottest = max(counts.values())
+    assert hottest / len(trace) > 0.02
+
+
+def test_synthesize_validation():
+    with pytest.raises(TraceError):
+        synthesize(10, 10, read_fraction=1.5)
+    with pytest.raises(TraceError):
+        synthesize(10, 10, read_fraction=0.9, delete_fraction=0.5)
+    with pytest.raises(TraceError):
+        synthesize(10, 10, distribution="pareto")
+
+
+def test_sequential_fill():
+    trace = sequential_fill(5, value_size=256)
+    assert [op.key for op in trace] == [0, 1, 2, 3, 4]
+    assert all(op.op == "put" and op.size == 256 for op in trace)
+
+
+# -- replay ---------------------------------------------------------------------
+
+def test_replay_applies_trace():
+    env, ssd = make_ssd()
+
+    def create():
+        nsid = yield from ssd.create_namespace()
+        return nsid
+
+    nsid = drive(env, create())
+    trace = Trace([
+        TraceOp("put", 1, 256),
+        TraceOp("put", 2, 256),
+        TraceOp("delete", 1),
+        TraceOp("get", 2),
+    ])
+    result = replay(env, ssd, nsid, trace)
+    assert result.ops == 4
+
+    def check():
+        yield from ssd.drain()
+        one = yield from ssd.get(nsid, 1)
+        two = yield from ssd.get(nsid, 2)
+        return one, two
+
+    assert drive(env, check()) == (None, ("trace", 2))
+
+
+def test_replay_multithreaded_counts():
+    env, ssd = make_ssd()
+
+    def create():
+        nsid = yield from ssd.create_namespace()
+        return nsid
+
+    nsid = drive(env, create())
+    trace = sequential_fill(24, value_size=256)
+    result = replay(env, ssd, nsid, trace, threads=4)
+    assert result.ops == 24
+    assert result.elapsed_us > 0
+    assert len(result.latencies_us) == 24
+
+
+def test_replay_thread_validation():
+    env, ssd = make_ssd()
+    with pytest.raises(TraceError):
+        replay(env, ssd, 1, Trace(), threads=0)
