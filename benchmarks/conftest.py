@@ -12,6 +12,7 @@ import pathlib
 import pytest
 
 RESULTS_FILE = pathlib.Path(__file__).parent / "results.txt"
+ARTIFACTS_DIR = pathlib.Path(__file__).parent / "artifacts"
 
 
 def pytest_sessionstart(session):
@@ -33,6 +34,24 @@ def emit(request):
             handle.write(text + "\n\n")
 
     return _emit
+
+
+@pytest.fixture
+def artifact():
+    """Write an experiment result (metrics registry included) as JSON.
+
+    CI uploads ``benchmarks/artifacts/`` so every smoke-bench run leaves
+    an inspectable metrics-registry export behind.
+    """
+    from repro.harness.reporting import to_json
+
+    def _artifact(name: str, result) -> pathlib.Path:
+        ARTIFACTS_DIR.mkdir(exist_ok=True)
+        path = ARTIFACTS_DIR / f"{name}.json"
+        to_json(result, path=str(path))
+        return path
+
+    return _artifact
 
 
 @pytest.fixture

@@ -5,9 +5,10 @@ from repro.harness import format_table
 from repro.harness.experiments import fig5_bandwidth
 
 
-def test_fig5_bandwidth(run_once, emit):
+def test_fig5_bandwidth(run_once, emit, artifact):
     result = run_once(fig5_bandwidth, ops_per_thread=25)
     emit(format_table(result["title"], result["headers"], result["rows"]))
+    artifact("fig5_bandwidth", result)
     m = result["metrics"]
 
     # Fig 5a: Get beats read at low load factor...

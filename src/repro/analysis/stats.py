@@ -1,9 +1,16 @@
-"""Latency/throughput summarisation for benchmark reporting."""
+"""Latency/throughput summarisation for benchmark reporting.
+
+Percentiles use the shared linear-interpolation implementation from
+:mod:`repro.obs.metrics` — the same math backs ``Histogram.summary()``,
+so ad-hoc latency lists and registry histograms report identically.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
+
+from repro.obs.metrics import percentile
 
 
 @dataclass(frozen=True)
@@ -17,13 +24,6 @@ class LatencySummary:
     max_us: float
 
 
-def _percentile(sorted_values: List[float], fraction: float) -> float:
-    if not sorted_values:
-        return 0.0
-    index = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
-    return sorted_values[index]
-
-
 def summarize(latencies_us: Sequence[float]) -> LatencySummary:
     values = sorted(latencies_us)
     if not values:
@@ -31,9 +31,9 @@ def summarize(latencies_us: Sequence[float]) -> LatencySummary:
     return LatencySummary(
         count=len(values),
         mean_us=sum(values) / len(values),
-        p50_us=_percentile(values, 0.50),
-        p95_us=_percentile(values, 0.95),
-        p99_us=_percentile(values, 0.99),
+        p50_us=percentile(values, 0.50),
+        p95_us=percentile(values, 0.95),
+        p99_us=percentile(values, 0.99),
         min_us=values[0],
         max_us=values[-1],
     )

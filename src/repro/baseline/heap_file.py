@@ -9,7 +9,7 @@ mapping table.
 
 from __future__ import annotations
 
-from typing import Any, Dict, NamedTuple, Optional, Tuple
+from typing import Any, Dict, NamedTuple, Optional
 
 from repro.baseline.buffer_pool import BufferPool
 from repro.baseline.filesystem import SimpleFilesystem

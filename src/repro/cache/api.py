@@ -20,7 +20,6 @@ read/update/insert; callers abort and retry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.cache.buffer import BufferManager
@@ -28,14 +27,27 @@ from repro.cache.locks import DeadlockError, LockManager, LockMode
 from repro.cache.transaction import DELETED, Transaction, TxnState
 from repro.config import HostCosts
 from repro.kaml import KamlSsd, NamespaceAttributes, PutItem
+from repro.obs import MetricsRegistry
 from repro.sim import Environment
 
 
-@dataclass
 class StoreStats:
-    begun: int = 0
-    committed: int = 0
-    aborted: int = 0
+    """Compatible accessor over the ``store.txn.*`` registry counters."""
+
+    def __init__(self, metrics: MetricsRegistry):
+        self._metrics = metrics
+
+    @property
+    def begun(self) -> int:
+        return int(self._metrics.total("store.txn.begun"))
+
+    @property
+    def committed(self) -> int:
+        return int(self._metrics.total("store.txn.committed"))
+
+    @property
+    def aborted(self) -> int:
+        return int(self._metrics.total("store.txn.aborted"))
 
 
 class KamlStore:
@@ -52,9 +64,12 @@ class KamlStore:
         self.env = env
         self.ssd = ssd
         self.costs = costs or ssd.config.host
+        self.metrics = ssd.metrics
         self.buffer = BufferManager(env, ssd, cache_bytes, self.costs)
-        self.locks = LockManager(env, self.costs, records_per_lock=records_per_lock)
-        self.stats = StoreStats()
+        self.locks = LockManager(
+            env, self.costs, records_per_lock=records_per_lock, metrics=self.metrics
+        )
+        self.stats = StoreStats(self.metrics)
         self._next_txn_id = 1
 
     # ------------------------------------------------------------------
@@ -77,7 +92,7 @@ class KamlStore:
         txn = Transaction(self._next_txn_id)
         self._next_txn_id += 1
         txn.begin()
-        self.stats.begun += 1
+        self.metrics.counter("store.txn.begun").inc()
         return txn
 
     def transaction_read(self, txn: Transaction, namespace_id: int, key: int) -> Any:
@@ -174,7 +189,7 @@ class KamlStore:
         yield self.env.timeout(self.costs.txn_overhead_us)
         txn.mark_committed()
         self.locks.release_all(txn)
-        self.stats.committed += 1
+        self.metrics.counter("store.txn.committed").inc()
 
     def transaction_abort(self, txn: Transaction) -> Any:
         """``TransactionAbort()``: discard private copies, release locks."""
@@ -184,7 +199,7 @@ class KamlStore:
         txn.mark_aborted()
         self.locks.cancel_wait(txn)
         self.locks.release_all(txn)
-        self.stats.aborted += 1
+        self.metrics.counter("store.txn.aborted").inc()
 
     def transaction_free(self, txn: Transaction) -> None:
         """``TransactionFree()``: release the XCB (back to IDLE)."""

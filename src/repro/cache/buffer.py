@@ -9,20 +9,35 @@ dirty and are flushed by eviction.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Any, Tuple
 
 from repro.config import HostCosts
 from repro.kaml import KamlSsd, PutItem
+from repro.obs import MetricsRegistry
 from repro.sim import Environment
 
 
-@dataclass
 class CacheStats:
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    writebacks: int = 0
+    """Compatible accessor over the ``cache.*`` registry counters."""
+
+    def __init__(self, metrics: MetricsRegistry):
+        self._metrics = metrics
+
+    @property
+    def hits(self) -> int:
+        return int(self._metrics.total("cache.hits"))
+
+    @property
+    def misses(self) -> int:
+        return int(self._metrics.total("cache.misses"))
+
+    @property
+    def evictions(self) -> int:
+        return int(self._metrics.total("cache.evictions"))
+
+    @property
+    def writebacks(self) -> int:
+        return int(self._metrics.total("cache.writebacks"))
 
     @property
     def hit_ratio(self) -> float:
@@ -57,7 +72,8 @@ class BufferManager:
         self.costs = costs
         self._entries: "OrderedDict[Tuple[int, int], _Entry]" = OrderedDict()
         self._used = 0
-        self.stats = CacheStats()
+        self.metrics = ssd.metrics
+        self.stats = CacheStats(self.metrics)
 
     @property
     def used_bytes(self) -> int:
@@ -74,12 +90,13 @@ class BufferManager:
         """Return ``(value, size)`` or None; fills from the SSD on miss."""
         yield self.env.timeout(self.costs.cache_probe_us)
         cache_key = (namespace_id, key)
+        self.metrics.counter("cache.reads", namespace=namespace_id).inc()
         entry = self._entries.get(cache_key)
         if entry is not None:
-            self.stats.hits += 1
+            self.metrics.counter("cache.hits", namespace=namespace_id).inc()
             self._entries.move_to_end(cache_key)
             return entry.value, entry.size
-        self.stats.misses += 1
+        self.metrics.counter("cache.misses", namespace=namespace_id).inc()
         result = yield from self.ssd.get_record(namespace_id, key)
         if result is None:
             return None
@@ -120,7 +137,7 @@ class BufferManager:
         yield from self.ssd.put(items)
         for _cache_key, entry in dirty:
             entry.dirty = False
-        self.stats.writebacks += len(dirty)
+        self.metrics.counter("cache.writebacks").inc(len(dirty))
 
     # ------------------------------------------------------------------
     # Internals
@@ -144,6 +161,7 @@ class BufferManager:
             self._used += size
         while self._used > self.capacity_bytes:
             yield from self._evict_one()
+        self.metrics.gauge("cache.used_bytes").set(self._used)
         yield self.env.timeout(size / self.costs.copy_bytes_per_us)
 
     def _evict_one(self) -> Any:
@@ -152,7 +170,8 @@ class BufferManager:
             yield from self.ssd.put(
                 [PutItem(victim_key[0], victim_key[1], victim.value, victim.size)]
             )
-            self.stats.writebacks += 1
+            self.metrics.counter("cache.writebacks").inc()
         self._entries.pop(victim_key, None)
         self._used -= victim.size
-        self.stats.evictions += 1
+        self.metrics.counter("cache.evictions").inc()
+        self.metrics.gauge("cache.used_bytes").set(self._used)

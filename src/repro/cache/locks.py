@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.config import HostCosts
+from repro.obs import MetricsRegistry
 from repro.sim import Environment, Event
 
 
@@ -61,6 +62,7 @@ class LockManager:
         env: Environment,
         costs: HostCosts,
         records_per_lock: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if records_per_lock < 1:
             raise ValueError("records_per_lock must be >= 1")
@@ -70,8 +72,19 @@ class LockManager:
         self._locks: Dict[Hashable, _Lock] = {}
         #: txn_id -> lock name it is currently blocked on (for cycle search)
         self._waiting_on: Dict[int, Hashable] = {}
-        self.deadlocks = 0
-        self.conflicts = 0
+        self.metrics = (
+            metrics
+            if metrics is not None
+            else MetricsRegistry(clock=lambda: env.now)
+        )
+
+    @property
+    def deadlocks(self) -> int:
+        return int(self.metrics.total("cache.lock.deadlocks"))
+
+    @property
+    def conflicts(self) -> int:
+        return int(self.metrics.total("cache.lock.conflicts"))
 
     # ------------------------------------------------------------------
     # Granularity
@@ -107,14 +120,14 @@ class LockManager:
             txn.held_locks.add(name)
             return
         # Must wait: check for a deadlock this wait would create.
-        self.conflicts += 1
+        self.metrics.counter("cache.lock.conflicts").inc()
         blockers = self._blockers(lock, txn_id, mode)
         victim = self._find_deadlock_victim(txn_id, blockers)
         if victim == txn_id:
-            self.deadlocks += 1
+            self.metrics.counter("cache.lock.deadlocks").inc()
             raise DeadlockError(f"txn {txn_id} victimised on lock {name!r}")
         if victim is not None:
-            self.deadlocks += 1
+            self.metrics.counter("cache.lock.deadlocks").inc()
             self._kill_waiter(victim)
         waiter = _Waiter(txn_id, mode, self.env.event())
         # Upgraders go to the front so they cannot deadlock behind
@@ -124,10 +137,12 @@ class LockManager:
         else:
             lock.queue.append(waiter)
         self._waiting_on[txn_id] = name
+        wait_started = self.env.now
         try:
             yield waiter.event
         finally:
             self._waiting_on.pop(txn_id, None)
+            self.metrics.observe("cache.lock.wait_us", self.env.now - wait_started)
         txn.held_locks.add(name)
 
     def release_all(self, txn: Any) -> None:

@@ -21,7 +21,35 @@ class GcCandidate:
     age_us: float = 0.0    # time since the block was written full
 
 
-class GreedyPolicy:
+class _InstrumentedPolicy:
+    """Optional victim-selection telemetry shared by every policy.
+
+    Owners (a KAML log, the page FTL) assign ``policy.metrics``; each
+    decision then records the chosen victim's relocation cost and wear so
+    the GC ablations can compare policies from one registry export.
+    """
+
+    name = "abstract"
+    metrics = None
+
+    def _record_choice(
+        self, victim: Optional[GcCandidate], pool_size: int
+    ) -> Optional[GcCandidate]:
+        if self.metrics is not None and victim is not None:
+            self.metrics.counter("gc.victims_chosen", policy=self.name).inc()
+            self.metrics.observe(
+                "gc.victim.valid_bytes", victim.valid_bytes, policy=self.name
+            )
+            self.metrics.observe(
+                "gc.victim.erase_count", victim.erase_count, policy=self.name
+            )
+            self.metrics.observe(
+                "gc.candidate_pool", pool_size, policy=self.name
+            )
+        return victim
+
+
+class GreedyPolicy(_InstrumentedPolicy):
     """Minimize relocation work: pick the block with the least valid data."""
 
     name = "greedy"
@@ -29,10 +57,11 @@ class GreedyPolicy:
     def choose(self, candidates: Sequence[GcCandidate]) -> Optional[GcCandidate]:
         if not candidates:
             return None
-        return min(candidates, key=lambda c: (c.valid_bytes, c.erase_count))
+        victim = min(candidates, key=lambda c: (c.valid_bytes, c.erase_count))
+        return self._record_choice(victim, len(candidates))
 
 
-class CostBenefitPolicy:
+class CostBenefitPolicy(_InstrumentedPolicy):
     """LFS-style cost-benefit: benefit = age * (1 - u) / (1 + u)."""
 
     name = "cost-benefit"
@@ -50,10 +79,10 @@ class CostBenefitPolicy:
             utilization = min(1.0, candidate.valid_bytes / self.block_bytes)
             return (1.0 + candidate.age_us) * (1.0 - utilization) / (1.0 + utilization)
 
-        return max(candidates, key=benefit)
+        return self._record_choice(max(candidates, key=benefit), len(candidates))
 
 
-class WearAwarePolicy:
+class WearAwarePolicy(_InstrumentedPolicy):
     """KAML's policy: low erase count *and* little valid data (Section IV-E).
 
     Both terms are normalised against the candidate pool and combined; the
@@ -83,4 +112,4 @@ class WearAwarePolicy:
                 + self.wear_weight * candidate.erase_count / max_erase
             )
 
-        return min(candidates, key=score)
+        return self._record_choice(min(candidates, key=score), len(candidates))

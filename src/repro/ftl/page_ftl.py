@@ -32,6 +32,7 @@ from repro.flash import FlashArray, PagePointer, WearOutError
 from repro.ftl.gc_policy import GcCandidate, WearAwarePolicy
 from repro.ftl.locktable import LockTable
 from repro.ftl.mapping import DirectMap
+from repro.obs import MetricsRegistry
 from repro.sim import Environment, Gate
 from repro.ssd import FirmwarePool, NvramBuffer
 
@@ -60,15 +61,42 @@ class _Target:
     space_gate: Gate = None  # fired when GC frees a block
 
 
-@dataclass
 class FtlStats:
-    host_reads: int = 0
-    host_writes: int = 0
-    rmw_reads: int = 0
-    gc_relocated_pages: int = 0
-    gc_erased_blocks: int = 0
-    flash_programs: int = 0
-    retired_blocks: int = 0
+    """Registry-backed counters with the legacy attribute names."""
+
+    def __init__(self, metrics):
+        self._metrics = metrics
+
+    def _count(self, name: str) -> int:
+        return int(self._metrics.total(name))
+
+    @property
+    def host_reads(self) -> int:
+        return self._count("ftl.host_reads")
+
+    @property
+    def host_writes(self) -> int:
+        return self._count("ftl.host_writes")
+
+    @property
+    def rmw_reads(self) -> int:
+        return self._count("ftl.rmw_reads")
+
+    @property
+    def gc_relocated_pages(self) -> int:
+        return self._count("ftl.gc.relocated_pages")
+
+    @property
+    def gc_erased_blocks(self) -> int:
+        return self._count("ftl.gc.erased_blocks")
+
+    @property
+    def flash_programs(self) -> int:
+        return self._count("ftl.flash_programs")
+
+    @property
+    def retired_blocks(self) -> int:
+        return self._count("ftl.retired_blocks")
 
 
 class PageFtl:
@@ -81,12 +109,17 @@ class PageFtl:
         array: FlashArray,
         firmware: FirmwarePool,
         nvram: NvramBuffer,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.env = env
         self.config = config
         self.array = array
         self.firmware = firmware
         self.nvram = nvram
+        self.metrics = metrics if metrics is not None else MetricsRegistry(
+            clock=lambda: env.now
+        )
+        env.attach_metrics(self.metrics)
         self.geometry = config.geometry
         self.params = config.block_ftl
         self.costs = config.firmware
@@ -96,8 +129,9 @@ class PageFtl:
         usable_pages = int(self.geometry.total_pages * (1.0 - self.params.overprovision))
         self.logical_pages = usable_pages * self.slots_per_page
         self.map = DirectMap(self.logical_pages)
-        self.stats = FtlStats()
+        self.stats = FtlStats(self.metrics)
         self.gc_policy = WearAwarePolicy()
+        self.gc_policy.metrics = self.metrics
         self._page_locks = LockTable(env, name="ftl.lpn")
         self._targets: List[_Target] = []
         for channel, chip in array.iter_targets():
@@ -128,11 +162,14 @@ class PageFtl:
         self._check_lpn(lpn)
         if not 0 < nbytes <= LOGICAL_PAGE:
             raise FtlError(f"read size {nbytes} outside (0, {LOGICAL_PAGE}]")
-        self.stats.host_reads += 1
+        self.metrics.counter("ftl.host_reads").inc()
+        started = self.env.now
         yield from self.firmware.execute(
             self.costs.dispatch_us + self.costs.lba_lock_us + self.costs.array_map_us
         )
+        lock_wait = self.env.now
         yield from self._page_locks.acquire(lpn, owner="read")
+        self.metrics.observe("ftl.lba_lock_wait_us", self.env.now - lock_wait)
         try:
             inflight = self._inflight.get(lpn)
             if inflight is not None:
@@ -145,6 +182,7 @@ class PageFtl:
             return data[slot]
         finally:
             self._page_locks.release(lpn)
+            self.metrics.observe("ftl.read.us", self.env.now - started)
 
     def write(self, lpn: int, data: Any, nbytes: int = LOGICAL_PAGE) -> Any:
         """Write up to one logical page; returns once durable (in NVRAM).
@@ -156,7 +194,9 @@ class PageFtl:
         self._check_lpn(lpn)
         if not 0 < nbytes <= LOGICAL_PAGE:
             raise FtlError(f"write size {nbytes} outside (0, {LOGICAL_PAGE}]")
-        self.stats.host_writes += 1
+        self.metrics.counter("ftl.host_writes").inc()
+        self.metrics.counter("ftl.host_write_bytes").inc(nbytes)
+        started = self.env.now
         yield from self.firmware.execute(self.costs.dispatch_us + self.costs.lba_lock_us)
         if nbytes < LOGICAL_PAGE:
             yield from self._read_for_merge(lpn)
@@ -178,12 +218,14 @@ class PageFtl:
         self._inflight[lpn] = (data, version)
         self._fill.append((lpn, data, version, handle))
         if len(self._fill) >= self.slots_per_page:
-            entries, self._fill = self._fill[: self.slots_per_page], self._fill[self.slots_per_page:]
+            entries = self._fill[: self.slots_per_page]
+            self._fill = self._fill[self.slots_per_page:]
             self._fill_generation += 1
             self.env.process(self._flush(entries))
         elif len(self._fill) == 1:
             self.env.process(self._fill_timer(self._fill_generation))
         # The command is complete: data is durable in NVRAM.
+        self.metrics.observe("ftl.write.us", self.env.now - started)
 
     def flush(self) -> Any:
         """Force a partially filled buffer to flash (used by tests/shutdown)."""
@@ -258,7 +300,7 @@ class PageFtl:
         location = self.map.lookup(lpn)
         if location is None:
             return  # unmapped: nothing to merge
-        self.stats.rmw_reads += 1
+        self.metrics.counter("ftl.rmw_reads").inc()
         pointer, _slot = location
         yield from self.array.read_page(pointer, transfer_bytes=LOGICAL_PAGE)
 
@@ -270,7 +312,8 @@ class PageFtl:
         slots = {index: data for index, (_l, data, _v, _h) in enumerate(entries)}
         lpns = [lpn for lpn, _d, _v, _h in entries]
         yield from self.array.program_page(pointer, slots, oob=lpns)
-        self.stats.flash_programs += 1
+        self.metrics.counter("ftl.flash_programs").inc()
+        self.metrics.counter("ftl.programmed_bytes").inc(self.geometry.page_size)
         for slot, (lpn, data, version, handle) in enumerate(entries):
             self._install_mapping(lpn, (pointer, slot), version)
             self.nvram.release(handle)
@@ -387,10 +430,10 @@ class PageFtl:
                     yield from self.array.erase_block(pointer)
                 except WearOutError:
                     # Endurance exceeded: retire the block (capacity loss).
-                    self.stats.retired_blocks += 1
+                    self.metrics.counter("ftl.retired_blocks").inc()
                     self._valid.pop((target.channel, target.chip, block_index), None)
                     continue
-                self.stats.gc_erased_blocks += 1
+                self.metrics.counter("ftl.gc.erased_blocks").inc()
                 self._valid.pop((target.channel, target.chip, block_index), None)
                 target.free.append(block_index)
                 target.space_gate.fire()
@@ -441,7 +484,8 @@ class PageFtl:
             yield from self.array.program_page(new_pointer, slots, oob=lpns)
             for slot, (lpn, _data) in enumerate(batch):
                 self._install_relocation(lpn, (new_pointer, slot))
-                self.stats.gc_relocated_pages += 1
+                self.metrics.counter("ftl.gc.relocated_pages").inc()
+                self.metrics.counter("ftl.gc.relocated_bytes").inc(LOGICAL_PAGE)
         finally:
             for lpn, _data in batch:
                 self._page_locks.release(lpn)

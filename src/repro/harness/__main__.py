@@ -42,6 +42,10 @@ def main(argv=None) -> int:
         help=f"which experiments to run: {', '.join(EXPERIMENTS)} or 'all'",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="also print the metrics-registry report of experiments that export one",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.figures:
@@ -58,6 +62,11 @@ def main(argv=None) -> int:
         started = time.time()
         result = func()
         print(format_table(result["title"], result["headers"], result["rows"]))
+        if args.metrics and result.get("registry") is not None:
+            from repro.harness.reporting import format_registry
+
+            print()
+            print(format_registry(result["registry"], title=f"{name} metrics"))
         print(f"[{name} finished in {time.time() - started:.1f}s wall]\n")
     return 0
 

@@ -121,6 +121,9 @@ def fig5_bandwidth(
         "headers": ["benchmark", "value B", "command", "load factor", "MB/s"],
         "rows": rows,
         "metrics": metrics,
+        # Metrics registry of the final KAML stack: per-namespace bandwidth
+        # counters, Put phase histograms, GC and firmware telemetry.
+        "registry": ssd.metrics,
     }
 
 
@@ -392,6 +395,8 @@ def fig10_ycsb(
         "headers": ["workload", "KAML", "Shore-MT", "speedup"],
         "rows": rows,
         "metrics": metrics,
+        # Registry of the final KAML stack (cache + store + SSD telemetry).
+        "registry": store.metrics,
     }
 
 

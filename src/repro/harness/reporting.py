@@ -1,8 +1,18 @@
-"""Plain-text tables for experiment output (paper-style rows/series)."""
+"""Plain-text tables and JSON reports for experiment output.
+
+``format_table``/``format_kv`` render the paper-style tables; ``to_json``
+serialises an experiment result dict (title/headers/rows/metrics, plus an
+optional embedded metrics-registry export) for the CI artifact step; and
+``format_registry``/``registry_json`` plug the :mod:`repro.obs` exporters
+into the same reporting surface.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Dict, Sequence
+import json
+from typing import Any, Dict, Optional, Sequence
+
+from repro.obs import MetricsRegistry, to_builtin, to_text
 
 
 def _render(value: Any) -> str:
@@ -16,18 +26,26 @@ def _render(value: Any) -> str:
 
 
 def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
-    """Fixed-width text table with a title rule."""
+    """Fixed-width text table with a title rule.
+
+    Rows shorter than ``headers`` are padded with empty cells; rows longer
+    than ``headers`` grow the table (trailing columns get empty headers).
+    """
     rendered = [[_render(cell) for cell in row] for row in rows]
+    columns = max([len(headers)] + [len(row) for row in rendered])
+    names = list(headers) + [""] * (columns - len(headers))
+    for row in rendered:
+        row.extend([""] * (columns - len(row)))
     widths = [
-        max(len(headers[col]), *(len(row[col]) for row in rendered)) if rendered
-        else len(headers[col])
-        for col in range(len(headers))
+        max(len(names[col]), *(len(row[col]) for row in rendered)) if rendered
+        else len(names[col])
+        for col in range(columns)
     ]
     lines = [title, "=" * len(title)]
-    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
-    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(names)))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
     for row in rendered:
-        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(columns)))
     return "\n".join(lines)
 
 
@@ -37,3 +55,32 @@ def format_kv(title: str, pairs: Dict[str, Any]) -> str:
     for key, value in pairs.items():
         lines.append(f"{key.ljust(width)}  {_render(value)}")
     return "\n".join(lines)
+
+
+def to_json(result: Dict[str, Any], path: Optional[str] = None, indent: int = 2) -> str:
+    """Serialise an experiment result dict (and optionally write it).
+
+    Embedded :class:`MetricsRegistry` values (e.g. a ``"registry"`` key)
+    are expanded through the obs exporter; anything else non-serialisable
+    falls back to ``str``.
+    """
+    payload = {
+        key: to_builtin(value) if isinstance(value, MetricsRegistry) else value
+        for key, value in result.items()
+    }
+    text = json.dumps(payload, indent=indent, sort_keys=True, default=str)
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+            handle.write("\n")
+    return text
+
+
+def format_registry(registry: MetricsRegistry, title: str = "metrics") -> str:
+    """Plaintext metrics report (the obs text exporter)."""
+    return to_text(registry, title=title)
+
+
+def registry_json(registry: MetricsRegistry, path: Optional[str] = None) -> str:
+    """JSON metrics-registry export (the CI artifact payload)."""
+    return to_json({"registry": registry}, path=path)

@@ -37,14 +37,47 @@ class _WritePoint:
     generation: int = 0
 
 
-@dataclass
 class LogStats:
-    appended_records: int = 0
-    programmed_pages: int = 0
-    gc_relocated_records: int = 0
-    gc_erased_blocks: int = 0
-    wasted_chunks: int = 0  # trailing chunks lost when a record didn't fit
-    retired_blocks: int = 0  # blocks that exceeded erase endurance
+    """Registry-backed per-log counters with the legacy attribute names.
+
+    The underlying counters carry ``log=<id>`` labels (plus ``namespace``
+    and ``stream`` on the byte/record counters) so figure-level reports
+    can attribute bandwidth; this view re-aggregates them for existing
+    ``log.stats.x`` callers.
+    """
+
+    def __init__(self, metrics, log_id: int):
+        self._metrics = metrics
+        self._log_id = log_id
+
+    def _count(self, name: str) -> int:
+        return int(self._metrics.total(name, log=self._log_id))
+
+    @property
+    def appended_records(self) -> int:
+        return self._count("kaml.log.appended_records")
+
+    @property
+    def programmed_pages(self) -> int:
+        return self._count("kaml.log.programmed_pages")
+
+    @property
+    def gc_relocated_records(self) -> int:
+        return self._count("kaml.log.gc.relocated_records")
+
+    @property
+    def gc_erased_blocks(self) -> int:
+        return self._count("kaml.log.gc.erased_blocks")
+
+    @property
+    def wasted_chunks(self) -> int:
+        # Trailing chunks lost when a record didn't fit the open page.
+        return self._count("kaml.log.wasted_chunks")
+
+    @property
+    def retired_blocks(self) -> int:
+        # Blocks that exceeded erase endurance.
+        return self._count("kaml.log.retired_blocks")
 
 
 class KamlLog:
@@ -69,8 +102,14 @@ class KamlLog:
         self.hooks = hooks
         self.geometry = config.geometry
         self.params = config.kaml
+        self.metrics = getattr(hooks, "metrics", None)
+        if self.metrics is None:
+            from repro.obs import MetricsRegistry
+
+            self.metrics = MetricsRegistry(clock=lambda: env.now)
         self.gc_policy = WearAwarePolicy()
-        self.stats = LogStats()
+        self.gc_policy.metrics = self.metrics
+        self.stats = LogStats(self.metrics, log_id)
         self.free: List[int] = list(range(self.geometry.blocks_per_chip))
         self.full: List[int] = []
         self._active: Dict[bool, Optional[int]] = {False: None, True: None}  # for_gc -> block
@@ -117,14 +156,24 @@ class KamlLog:
                 f"record of {record.size} B exceeds one page"
             )
         if not point.assembly.fits(record):
-            self.stats.wasted_chunks += point.assembly.free_chunks
+            self.metrics.counter(
+                "kaml.log.wasted_chunks", log=self.log_id
+            ).inc(point.assembly.free_chunks)
             self._launch_flush(for_gc)
             point = self._points[for_gc]
         was_empty = point.assembly.is_empty
         start = point.assembly.add(record)
         event = self.env.event()
         point.waiters.append((start, record, event))
-        self.stats.appended_records += 1
+        stream = "gc" if for_gc else "host"
+        self.metrics.counter(
+            "kaml.log.appended_records",
+            log=self.log_id, namespace=record.namespace_id, stream=stream,
+        ).inc()
+        self.metrics.counter(
+            "kaml.log.append_bytes",
+            log=self.log_id, namespace=record.namespace_id, stream=stream,
+        ).inc(record.size)
         if point.assembly.free_chunks == 0:
             self._launch_flush(for_gc)
         elif was_empty:
@@ -145,7 +194,10 @@ class KamlLog:
         point = self._points[for_gc]
         if point.generation == generation and not point.assembly.is_empty:
             # Timer flushes pad out the page: the free tail is wasted.
-            self.stats.wasted_chunks += point.assembly.free_chunks
+            self.metrics.counter(
+                "kaml.log.wasted_chunks", log=self.log_id
+            ).inc(point.assembly.free_chunks)
+            self.metrics.counter("kaml.log.timer_flushes", log=self.log_id).inc()
             self._launch_flush(for_gc)
 
     def _flush_process(self, assembly: PageAssembly, waiters, for_gc: bool) -> Any:
@@ -176,8 +228,15 @@ class KamlLog:
             for record in assembly.records:
                 data[start_cursor] = record
                 start_cursor += record.chunks(self.geometry.chunk_size)
+            program_start = self.env.now
             yield from self.array.program_page(pointer, data, oob=assembly.bitmap())
-            self.stats.programmed_pages += 1
+            self.metrics.counter("kaml.log.programmed_pages", log=self.log_id).inc()
+            self.metrics.counter(
+                "kaml.log.programmed_bytes", log=self.log_id
+            ).inc(self.geometry.page_size)
+            self.metrics.observe(
+                "kaml.log.program_us", self.env.now - program_start, log=self.log_id
+            )
         finally:
             if held:
                 self._program_lock.release()
@@ -280,10 +339,14 @@ class KamlLog:
                     # survivors were already relocated; capacity shrinks
                     # by one block and the log carries on (Section II-A's
                     # "limited number of erase operations").
-                    self.stats.retired_blocks += 1
+                    self.metrics.counter(
+                        "kaml.log.retired_blocks", log=self.log_id
+                    ).inc()
                     self.hooks.block_erased(block_key)
                     continue
-                self.stats.gc_erased_blocks += 1
+                self.metrics.counter(
+                    "kaml.log.gc.erased_blocks", log=self.log_id
+                ).inc()
                 self.hooks.block_erased(block_key)
                 self.free.append(block_index)
                 self.space_gate.fire()
@@ -309,6 +372,12 @@ class KamlLog:
 
     def _clean_block(self, block_index: int) -> Any:
         """Relocate every still-valid record out of a victim block."""
+        self.metrics.observe(
+            "kaml.gc.victim_valid_bytes",
+            self.hooks.valid_bytes(self.block_key(block_index)),
+            log=self.log_id,
+        )
+        clean_start = self.env.now
         chip = self._chip()
         block = chip.block(block_index)
         survivors: List[Tuple[Record, RecordLocation]] = []
@@ -330,10 +399,20 @@ class KamlLog:
             event = self._stage(record, for_gc=True)
             staged.append((event, record, old_location))
         self._launch_flush(for_gc=True)
+        moved_bytes = 0
         for event, record, old_location in staged:
             new_location = yield event
             if self.hooks.relocate(record, old_location, new_location):
-                self.stats.gc_relocated_records += 1
+                self.metrics.counter(
+                    "kaml.log.gc.relocated_records", log=self.log_id
+                ).inc()
+                moved_bytes += record.size
+        self.metrics.counter(
+            "kaml.log.gc.moved_bytes", log=self.log_id
+        ).inc(moved_bytes)
+        self.metrics.observe(
+            "kaml.gc.clean_block_us", self.env.now - clean_start, log=self.log_id
+        )
 
     # ------------------------------------------------------------------
     # Introspection

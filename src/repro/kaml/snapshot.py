@@ -10,7 +10,7 @@ them until the snapshot is dropped.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any
 
 from repro.ftl.mapping import BucketedHashIndex, HashIndex, SortedIndex
 

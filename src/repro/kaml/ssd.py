@@ -37,6 +37,7 @@ from repro.kaml.log import KamlLog
 from repro.kaml.namespace import Namespace, NamespaceAttributes, NamespaceError
 from repro.kaml.record import Record, RecordLocation, RecordTooLargeError, chunks_for
 from repro.kaml.snapshot import Snapshot, SnapshotError, clone_index
+from repro.obs import MetricsRegistry
 from repro.sim import Environment, Gate, Process
 from repro.ssd import FirmwarePool, HostInterconnect, NvramBuffer, OnboardDram
 
@@ -59,18 +60,48 @@ _DELETED = object()
 
 
 class KamlStats:
-    def __init__(self) -> None:
-        self.gets = 0
-        self.puts = 0
-        self.put_records = 0
-        self.deletes = 0
-        self.recovered_batches = 0
+    """Registry-backed view with the legacy counter attribute names.
+
+    Kept so ``ssd.stats.gets``-style callers survive the migration to the
+    :mod:`repro.obs` registry; the registry is the source of truth.
+    """
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self._metrics = metrics
+
+    def _count(self, name: str) -> int:
+        return int(self._metrics.total(name))
+
+    @property
+    def gets(self) -> int:
+        return self._count("kaml.ssd.gets")
+
+    @property
+    def puts(self) -> int:
+        return self._count("kaml.ssd.puts")
+
+    @property
+    def put_records(self) -> int:
+        return self._count("kaml.ssd.put_records")
+
+    @property
+    def deletes(self) -> int:
+        return self._count("kaml.ssd.deletes")
+
+    @property
+    def recovered_batches(self) -> int:
+        return self._count("kaml.ssd.recovered_batches")
 
 
 class KamlSsd:
     """A key-addressable, multi-log SSD."""
 
-    def __init__(self, env: Environment, config: ReproConfig):
+    def __init__(
+        self,
+        env: Environment,
+        config: ReproConfig,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         config.geometry.validate()
         if config.kaml.num_logs > config.geometry.total_chips:
             raise KamlError(
@@ -81,12 +112,17 @@ class KamlSsd:
         self.config = config
         self.geometry = config.geometry
         self.costs = config.firmware
+        self.metrics = metrics if metrics is not None else MetricsRegistry(
+            clock=lambda: env.now
+        )
+        env.attach_metrics(self.metrics)
         self.array = FlashArray(env, config.geometry, config.flash)
         self.firmware = FirmwarePool(env, config.resources.firmware_contexts)
+        self.firmware.metrics = self.metrics
         self.nvram = NvramBuffer(env, config.resources.nvram_bytes)
         self.link = HostInterconnect(env, config.interconnect)
         self.dram = OnboardDram(config.resources.dram_bytes)
-        self.stats = KamlStats()
+        self.stats = KamlStats(self.metrics)
         # Logs occupy targets channel-major so that N <= channels logs land
         # on N distinct channels (the Figure 8 configuration).
         self.logs: List[KamlLog] = []
@@ -217,35 +253,45 @@ class KamlSsd:
         """``Get`` returning ``(value, size)`` — what the caching layer uses."""
         namespace = self._namespace(namespace_id)
         namespace.require_resident()
-        self.stats.gets += 1
-        yield from self.link.command_overhead()
-        yield from self.firmware.execute(self.costs.dispatch_us)
-        # A logically committed but not-yet-installed value is served from
-        # the NVRAM staging area — acknowledged Puts are always visible.
-        staged = self._staged.get((namespace_id, key))
-        if staged is not None:
-            _version, value, size = staged
-            yield from self.firmware.execute(self.costs.hash_probe_us)
-            if value is _DELETED:
-                return None
-            yield from self.link.device_to_host(size)
-            return value, size
-        location, scanned = namespace.index.lookup(key)
-        yield from self.firmware.execute(scanned * self.costs.hash_probe_us)
-        if location is None:
-            return None
-        block_key = (location.page.channel, location.page.chip, location.page.block)
-        self._pin(block_key)
+        self.metrics.counter("kaml.ssd.gets", namespace=namespace_id).inc()
+        started = self.env.now
         try:
-            data, _oob = yield from self.array.read_page(
-                location.page,
-                transfer_bytes=location.nchunks * self.geometry.chunk_size,
-            )
+            yield from self.link.command_overhead()
+            yield from self.firmware.execute(self.costs.dispatch_us)
+            # A logically committed but not-yet-installed value is served from
+            # the NVRAM staging area — acknowledged Puts are always visible.
+            staged = self._staged.get((namespace_id, key))
+            if staged is not None:
+                self.metrics.counter(
+                    "kaml.ssd.get_staged_hits", namespace=namespace_id
+                ).inc()
+                _version, value, size = staged
+                yield from self.firmware.execute(self.costs.hash_probe_us)
+                if value is _DELETED:
+                    return None
+                yield from self.link.device_to_host(size)
+                return value, size
+            location, scanned = namespace.index.lookup(key)
+            self.metrics.observe("kaml.get.index_probes", scanned)
+            yield from self.firmware.execute(scanned * self.costs.hash_probe_us)
+            if location is None:
+                return None
+            block_key = (location.page.channel, location.page.chip, location.page.block)
+            self._pin(block_key)
+            try:
+                data, _oob = yield from self.array.read_page(
+                    location.page,
+                    transfer_bytes=location.nchunks * self.geometry.chunk_size,
+                )
+            finally:
+                self._unpin(block_key)
+            record = data[location.chunk]
+            yield from self.link.device_to_host(record.size)
+            return record.value, record.size
         finally:
-            self._unpin(block_key)
-        record = data[location.chunk]
-        yield from self.link.device_to_host(record.size)
-        return record.value, record.size
+            self.metrics.observe(
+                "kaml.get.us", self.env.now - started, namespace=namespace_id
+            )
 
     # ------------------------------------------------------------------
     # Snapshots (extension: the indirection service the intro motivates)
@@ -299,7 +345,9 @@ class KamlSsd:
     def get_from_snapshot(self, snapshot_id: int, key: int) -> Any:
         """Read a key as of the snapshot instant."""
         snapshot = self._snapshot(snapshot_id)
-        self.stats.gets += 1
+        self.metrics.counter(
+            "kaml.ssd.gets", namespace=snapshot.namespace_id
+        ).inc()
         yield from self.link.command_overhead()
         yield from self.firmware.execute(self.costs.dispatch_us)
         location, scanned = snapshot.index.lookup(key)
@@ -346,7 +394,7 @@ class KamlSsd:
                 f"namespace {namespace_id} uses a hash index; create it with "
                 f'index_structure="sorted" to enable Scan'
             )
-        self.stats.gets += 1
+        self.metrics.counter("kaml.ssd.gets", namespace=namespace_id).inc()
         yield from self.link.command_overhead()
         yield from self.firmware.execute(self.costs.dispatch_us)
         matches: Dict[int, Tuple[str, Any]] = {
@@ -404,13 +452,22 @@ class KamlSsd:
                 raise RecordTooLargeError(
                     f"value of {item.size} B does not fit in one flash page"
                 )
-        self.stats.puts += 1
-        self.stats.put_records += len(items)
+        self.metrics.counter("kaml.ssd.puts").inc()
+        self.metrics.counter("kaml.ssd.put_records").inc(len(items))
+        for item in items:
+            self.metrics.counter(
+                "kaml.put.bytes", namespace=item.namespace_id
+            ).inc(item.size)
         epoch = self.epoch
+        phase1_start = self.env.now
         total_bytes = sum(item.size for item in items)
         yield from self.link.command_overhead()
         yield from self.link.host_to_device(total_bytes)
+        nvram_wait_start = self.env.now
         handle = yield self.nvram.reserve(total_bytes, payload=list(items))
+        self.metrics.observe("kaml.put.nvram_wait_us", self.env.now - nvram_wait_start)
+        pin_start = self.env.now
+        self.metrics.gauge("kaml.nvram.used_bytes").set(self.nvram.used_bytes)
         yield from self.firmware.execute(
             self.costs.dispatch_us + total_bytes / self.costs.nvram_copy_bytes_per_us
         )
@@ -448,14 +505,16 @@ class KamlSsd:
                 self._version_counter, item.value, item.size,
             )
         # Logically committed: acknowledge the host, finish in background.
+        self.metrics.observe("kaml.put.phase1_us", self.env.now - phase1_start)
         return self.env.process(
-            self._complete_put(items, versions, handle, epoch)
+            self._complete_put(items, versions, handle, epoch, pin_start)
         )
 
-    def _complete_put(self, items, versions, handle, epoch) -> Any:
+    def _complete_put(self, items, versions, handle, epoch, pin_start) -> Any:
         """Phases 2 and 3: flash writes, then mapping-table installs."""
         if self.epoch != epoch:
             return
+        phase2_start = self.env.now
         try:
             appends = []
             for item in items:
@@ -475,6 +534,13 @@ class KamlSsd:
         finally:
             if self.epoch == epoch:
                 self.nvram.release(handle)
+                self.metrics.observe(
+                    "kaml.put.nvram_pin_us", self.env.now - pin_start
+                )
+                self.metrics.observe(
+                    "kaml.put.phase2_us", self.env.now - phase2_start
+                )
+                self.metrics.gauge("kaml.nvram.used_bytes").set(self.nvram.used_bytes)
 
     def delete(self, namespace_id: int, key: int) -> Any:
         """Remove a key (extension beyond Table I; used by the cache layer).
@@ -483,7 +549,7 @@ class KamlSsd:
         """
         namespace = self._namespace(namespace_id)
         namespace.require_resident()
-        self.stats.deletes += 1
+        self.metrics.counter("kaml.ssd.deletes", namespace=namespace_id).inc()
         epoch = self.epoch
         yield from self.link.command_overhead()
         yield from self.firmware.execute(self.costs.dispatch_us)
@@ -600,8 +666,10 @@ class KamlSsd:
 
     def wait_unpinned(self, block_key: Tuple[int, int, int]) -> Any:
         """Block until no reader holds the block (pre-erase barrier)."""
+        started = self.env.now
         while self._pins.get(block_key, 0) > 0:
             yield self._pin_gate.wait()
+        self.metrics.observe("kaml.gc.pin_wait_us", self.env.now - started)
 
     # ------------------------------------------------------------------
     # Crash and recovery (Section IV-D failure handling)
@@ -654,7 +722,7 @@ class KamlSsd:
                 location = yield event
                 self._install(item.namespace_id, item.key, location)
             self.nvram.release(handle)
-            self.stats.recovered_batches += 1
+            self.metrics.counter("kaml.ssd.recovered_batches").inc()
         yield self.env.timeout(0.0)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,44 @@
+"""Unified observability: metrics, sim-time spans, and exporters.
+
+One :class:`MetricsRegistry` per simulated stack is the single source of
+truth for counters (ops, bytes, erases), gauges (queue depths, NVRAM
+usage), and histograms (latency phases, GC victim quality).  Spans are
+driven by simulated time, never the wall clock.  See the
+"Observability" section of docs/internals.md for naming and label
+conventions.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    labels_key,
+    percentile,
+)
+from repro.obs.registry import MetricsRegistry, SpanRecord
+from repro.obs.export import (
+    derived_metrics,
+    summary_row,
+    to_builtin,
+    to_json,
+    to_text,
+    write_json,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "derived_metrics",
+    "labels_key",
+    "percentile",
+    "summary_row",
+    "to_builtin",
+    "to_json",
+    "to_text",
+    "write_json",
+]

@@ -137,6 +137,18 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = count()
         self.active_process = None  # set by Process while it runs
+        #: Optional queue-depth gauge (see :meth:`attach_metrics`).
+        self._queue_gauge = None
+
+    def attach_metrics(self, registry) -> None:
+        """Track the pending-event queue depth in ``registry``.
+
+        The gauge's high-water mark exposes how much concurrent work the
+        simulated system keeps in flight.  First caller wins: one stack
+        root (the SSD under test) owns an environment's gauge.
+        """
+        if self._queue_gauge is None:
+            self._queue_gauge = registry.gauge("sim.queue_depth")
 
     @property
     def now(self) -> float:
@@ -199,6 +211,8 @@ class Environment:
 
     def _schedule(self, event: Event, delay: float, priority: int = NORMAL) -> None:
         heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        if self._queue_gauge is not None:
+            self._queue_gauge.set(len(self._queue))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
@@ -210,6 +224,8 @@ class Environment:
             raise SimulationError("step() on an empty schedule")
         when, _priority, _eid, event = heapq.heappop(self._queue)
         self._now = when
+        if self._queue_gauge is not None:
+            self._queue_gauge.set(len(self._queue))
         event._run_callbacks()
 
     def run_until(self, event: Event) -> None:

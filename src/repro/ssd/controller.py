@@ -19,6 +19,9 @@ class FirmwarePool:
         self.env = env
         self._pool = Resource(env, capacity=contexts, name="firmware")
         self.busy_us = 0.0
+        #: Optional :class:`~repro.obs.MetricsRegistry` set by the stack
+        #: root; records context-wait latency and run-queue depth.
+        self.metrics = None
 
     @property
     def contexts(self) -> int:
@@ -28,8 +31,14 @@ class FirmwarePool:
         """Run ``cost_us`` of firmware work on some core."""
         if cost_us <= 0:
             return
+        queued = self.env.now
         request = self._pool.request()
         yield request
+        if self.metrics is not None:
+            self.metrics.observe("kaml.firmware.wait_us", self.env.now - queued)
+            self.metrics.gauge("kaml.firmware.queue_depth").set(
+                self._pool.queue_length
+            )
         try:
             started = self.env.now
             yield self.env.timeout(cost_us)

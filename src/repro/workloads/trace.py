@@ -19,7 +19,7 @@ Lines starting with ``#`` are comments.
 from __future__ import annotations
 
 import random
-from typing import Any, Iterable, List, NamedTuple, Optional
+from typing import List, NamedTuple, Optional
 
 from repro.kaml import KamlSsd, PutItem
 from repro.sim import Environment

@@ -4,7 +4,6 @@ granularity, and crash recovery."""
 import pytest
 
 from repro.baseline import EngineError, LockGranularity, ShoreMtEngine
-from repro.cache.locks import DeadlockError
 from repro.config import ReproConfig
 from repro.sim import Environment
 

@@ -1,7 +1,5 @@
 """WAL group-commit modes and recovery-plan details."""
 
-import pytest
-
 from repro.baseline import SimpleFilesystem, WriteAheadLog
 from repro.blockdev import NvmeBlockDevice
 from repro.config import ReproConfig

@@ -1,8 +1,6 @@
 """transaction_read_for_update: upgrade-deadlock avoidance in the cache."""
 
-import pytest
-
-from repro.cache import DeadlockError, KamlStore
+from repro.cache import KamlStore
 from repro.config import KamlParams, ReproConfig
 from repro.kaml import KamlSsd
 from repro.sim import Environment

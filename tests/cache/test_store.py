@@ -1,10 +1,8 @@
 """Integration tests for the KamlStore transactional API (Table II)."""
 
-import pytest
-
-from repro.cache import DeadlockError, KamlStore, TxnState
+from repro.cache import KamlStore
 from repro.config import KamlParams, ReproConfig
-from repro.kaml import KamlSsd, NamespaceAttributes
+from repro.kaml import KamlSsd
 from repro.sim import Environment
 
 

@@ -1,8 +1,6 @@
 """Store-level extensions: scan and snapshot passthroughs behave
 consistently with the transactional semantics above them."""
 
-import pytest
-
 from repro.cache import KamlStore
 from repro.config import KamlParams, ReproConfig
 from repro.kaml import KamlSsd, NamespaceAttributes

@@ -5,7 +5,7 @@ import pytest
 from repro.cache.buffer import BufferManager
 from repro.cache.transaction import DELETED, Transaction, TransactionError, TxnState
 from repro.config import KamlParams, ReproConfig
-from repro.kaml import KamlSsd, NamespaceAttributes, PutItem
+from repro.kaml import KamlSsd, PutItem
 from repro.sim import Environment
 
 

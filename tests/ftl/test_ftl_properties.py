@@ -1,7 +1,6 @@
 """Property-based model checking for the conventional FTL, plus kernel
 resource invariants under randomized schedules."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.blockdev import NvmeBlockDevice

@@ -1,7 +1,5 @@
 """Page FTL limit behaviour: space exhaustion and wear retirement."""
 
-import pytest
-
 from repro.blockdev import NvmeBlockDevice
 from repro.config import BlockFtlParams, FlashGeometry, ReproConfig
 from repro.ftl.page_ftl import OutOfSpaceError

@@ -1,7 +1,5 @@
 """The `python -m repro.harness` command-line interface."""
 
-import pytest
-
 from repro.harness.__main__ import EXPERIMENTS, main
 
 

@@ -1,7 +1,5 @@
 """Tests for stack builders and report formatting."""
 
-import pytest
-
 from repro.baseline import LockGranularity
 from repro.config import ReproConfig
 from repro.harness import (

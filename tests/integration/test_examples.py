@@ -3,7 +3,6 @@ documentation; a broken example is a broken README)."""
 
 import importlib.util
 import pathlib
-import sys
 
 import pytest
 

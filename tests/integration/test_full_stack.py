@@ -1,15 +1,12 @@
 """Cross-module integration tests: whole-stack behaviours the unit tests
 cannot see (cache + SSD + GC + transactions interacting)."""
 
-import pytest
-
 from repro.cache import KamlStore
 from repro.config import FlashGeometry, KamlParams, ReproConfig
 from repro.harness import build_kaml_store
 from repro.kaml import KamlSsd, NamespaceAttributes, PutItem
 from repro.sim import Environment
 from repro.workloads import KamlAdapter, TpcB, Ycsb
-from repro.workloads.oltp import drive
 
 
 def test_transactions_survive_gc_pressure():

@@ -4,11 +4,8 @@ device must agree with a reference model and its accounting must balance."""
 
 import random
 
-import pytest
-
 from repro.config import FlashGeometry, KamlParams, ReproConfig
 from repro.kaml import KamlSsd, NamespaceAttributes, PutItem
-from repro.kaml.record import chunks_for
 from repro.sim import Environment
 
 

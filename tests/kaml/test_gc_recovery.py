@@ -1,7 +1,5 @@
 """KAML garbage collection under churn, wear behaviour, and crash recovery."""
 
-import pytest
-
 from repro.config import FlashGeometry, KamlParams, ReproConfig
 from repro.kaml import KamlSsd, NamespaceAttributes, PutItem
 from repro.sim import Environment

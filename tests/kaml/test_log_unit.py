@@ -1,7 +1,5 @@
 """Direct unit tests for KamlLog: staging, flushing, timers, wear."""
 
-import pytest
-
 from repro.config import FlashGeometry, KamlParams, ReproConfig
 from repro.flash import FlashArray
 from repro.kaml.log import KamlLog, LogSpaceError

@@ -4,7 +4,6 @@ Hypothesis drives random put/get/delete/drain/crash-recover sequences and
 compares the device against a plain dictionary model.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.config import FlashGeometry, KamlParams, ReproConfig

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import FlashGeometry, KamlParams, ReproConfig
+from repro.config import KamlParams, ReproConfig
 from repro.kaml import (
     DedicatedLogsPolicy,
     ExplicitLogsPolicy,

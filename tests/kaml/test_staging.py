@@ -1,10 +1,8 @@
 """The NVRAM write-cache semantics: read-after-ack visibility, version
 ordering of concurrent same-key Puts, and delete interactions."""
 
-import pytest
-
 from repro.config import KamlParams, ReproConfig
-from repro.kaml import KamlSsd, NamespaceAttributes, PutItem
+from repro.kaml import KamlSsd, PutItem
 from repro.sim import Environment
 
 

@@ -1,0 +1,225 @@
+"""Unit tests for the registry: instrument families, label filtering,
+sim-time spans with nesting, and the JSON/plaintext exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    derived_metrics,
+    to_builtin,
+    to_json,
+    to_text,
+)
+
+
+class FakeClock:
+    """A controllable sim-time stand-in."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, delta):
+        self.now += delta
+
+    def __call__(self):
+        return self.now
+
+
+# ---------------------------------------------------------------------------
+# Instrument access
+# ---------------------------------------------------------------------------
+
+def test_create_on_first_use_returns_same_instrument():
+    registry = MetricsRegistry()
+    first = registry.counter("x", log=1)
+    first.inc(3)
+    assert registry.counter("x", log=1) is first
+    assert registry.value("x", log=1) == 3.0
+
+
+def test_labels_split_families():
+    registry = MetricsRegistry()
+    registry.counter("kaml.ssd.gets", namespace=1).inc(2)
+    registry.counter("kaml.ssd.gets", namespace=2).inc(5)
+    assert registry.value("kaml.ssd.gets", namespace=1) == 2.0
+    assert registry.value("kaml.ssd.gets", namespace=2) == 5.0
+    assert registry.total("kaml.ssd.gets") == 7.0
+    assert len(registry.family("kaml.ssd.gets")) == 2
+
+
+def test_total_filters_by_label_superset():
+    registry = MetricsRegistry()
+    registry.counter("bytes", log=1, stream="host").inc(10)
+    registry.counter("bytes", log=2, stream="host").inc(20)
+    registry.counter("bytes", log=1, stream="gc").inc(5)
+    assert registry.total("bytes", stream="host") == 30.0
+    assert registry.total("bytes", stream="gc") == 5.0
+    assert registry.total("bytes", log=1) == 15.0
+    assert registry.total("bytes") == 35.0
+
+
+def test_kind_clash_raises():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+    with pytest.raises(ValueError):
+        registry.histogram("x")
+
+
+def test_value_of_untouched_metric_is_zero():
+    assert MetricsRegistry().value("nothing") == 0.0
+
+
+def test_instruments_prefix_filter():
+    registry = MetricsRegistry()
+    registry.counter("kaml.ssd.gets")
+    registry.counter("kaml.ssd.puts")
+    registry.counter("ftl.host_reads")
+    names = [i.name for i in registry.instruments("kaml.")]
+    assert names == ["kaml.ssd.gets", "kaml.ssd.puts"]
+
+
+def test_observe_shorthand():
+    registry = MetricsRegistry()
+    registry.observe("lat_us", 5.0, log=1)
+    assert registry.histogram("lat_us", log=1).count == 1
+
+
+def test_reset_clears_everything():
+    registry = MetricsRegistry()
+    registry.counter("x").inc()
+    with registry.span("s"):
+        pass
+    registry.reset()
+    assert registry.value("x") == 0.0
+    assert registry.traces == []
+
+
+# ---------------------------------------------------------------------------
+# Spans (sim-time, nesting)
+# ---------------------------------------------------------------------------
+
+def test_span_measures_sim_time_not_wall_clock():
+    clock = FakeClock()
+    registry = MetricsRegistry(clock=clock)
+    with registry.span("work_us"):
+        clock.advance(25.0)
+    histogram = registry.histogram("work_us")
+    assert histogram.count == 1
+    assert histogram.summary()["mean"] == 25.0
+
+
+def test_span_nesting_sets_parent_and_depth():
+    clock = FakeClock()
+    registry = MetricsRegistry(clock=clock)
+    with registry.span("outer_us") as outer:
+        clock.advance(1.0)
+        with registry.span("inner_us") as inner:
+            clock.advance(2.0)
+    assert outer.parent is None
+    assert outer.depth == 0
+    assert inner.parent is outer
+    assert inner.depth == 1
+    assert outer.duration_us == 3.0
+    assert inner.duration_us == 2.0
+
+
+def test_span_active_stack_and_trace_buffer():
+    registry = MetricsRegistry()
+    with registry.span("a"):
+        assert [s.name for s in registry.active_spans] == ["a"]
+    assert registry.active_spans == []
+    assert [record.name for record in registry.traces] == ["a"]
+
+
+def test_span_trace_buffer_cap():
+    registry = MetricsRegistry(max_trace_records=2)
+    for _ in range(4):
+        with registry.span("s"):
+            pass
+    assert len(registry.traces) == 2
+    assert registry.dropped_traces == 2
+    # The histogram still sees every span.
+    assert registry.histogram("s").count == 4
+
+
+def test_span_tolerates_out_of_lifo_close():
+    # Interleaved sim processes can close an outer span while an inner
+    # one (of another process) is still open.
+    clock = FakeClock()
+    registry = MetricsRegistry(clock=clock)
+    a = registry.span("a").__enter__()
+    span_b = registry.span("b")
+    span_b.__enter__()
+    registry._close_span(a)
+    clock.advance(5.0)
+    span_b.__exit__(None, None, None)
+    assert registry.active_spans == []
+    assert registry.histogram("b").summary()["mean"] == 5.0
+
+
+def test_span_records_duration_on_exception():
+    clock = FakeClock()
+    registry = MetricsRegistry(clock=clock)
+    with pytest.raises(RuntimeError):
+        with registry.span("failing_us"):
+            clock.advance(3.0)
+            raise RuntimeError("boom")
+    assert registry.histogram("failing_us").summary()["mean"] == 3.0
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+def _populated_registry():
+    registry = MetricsRegistry()
+    registry.counter("kaml.log.append_bytes", stream="host").inc(100)
+    registry.counter("kaml.log.append_bytes", stream="gc").inc(50)
+    registry.counter("cache.hits").inc(8)
+    registry.counter("cache.misses").inc(2)
+    registry.gauge("sim.queue_depth").set(4)
+    registry.observe("kaml.put.phase1_us", 10.0)
+    return registry
+
+
+def test_derived_metrics():
+    derived = derived_metrics(_populated_registry())
+    assert derived["kaml.gc.write_amplification"] == pytest.approx(1.5)
+    assert derived["cache.hit_rate"] == pytest.approx(0.8)
+
+
+def test_derived_metrics_absent_without_inputs():
+    assert derived_metrics(MetricsRegistry()) == {}
+
+
+def test_to_builtin_sections():
+    payload = to_builtin(_populated_registry())
+    assert payload["counters"]["cache.hits"]["value"] == 8.0
+    assert payload["gauges"]["sim.queue_depth"]["high_water"] == 4.0
+    histogram = payload["histograms"]["kaml.put.phase1_us"]
+    assert histogram["count"] == 1
+    assert "buckets" in histogram
+    assert payload["derived"]["kaml.gc.write_amplification"] == pytest.approx(1.5)
+    assert "traces" not in payload
+
+
+def test_to_json_round_trips():
+    registry = _populated_registry()
+    with registry.span("traced"):
+        pass
+    decoded = json.loads(to_json(registry, traces=True))
+    assert decoded["counters"]["kaml.log.append_bytes{stream=gc}"]["value"] == 50.0
+    assert decoded["traces"][0]["name"] == "traced"
+    assert decoded["dropped_traces"] == 0
+
+
+def test_to_text_report():
+    text = to_text(_populated_registry(), title="run metrics")
+    assert text.startswith("run metrics\n===========")
+    assert "cache.hits" in text
+    assert "kaml.put.phase1_us" in text
+    assert "kaml.gc.write_amplification" in text

@@ -1,14 +1,11 @@
 """Microbenchmark driver tests: both stacks run and report sane numbers."""
 
-import pytest
-
 from repro.blockdev import NvmeBlockDevice
 from repro.config import KamlParams, ReproConfig
 from repro.kaml import KamlSsd, NamespaceAttributes
 from repro.sim import Environment
 from repro.workloads import (
     block_fetch,
-    block_insert,
     block_update,
     kaml_fetch,
     kaml_insert,
