@@ -1,0 +1,34 @@
+# Developer entry points. CI runs the same commands (see .github/workflows/ci.yml).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint format bench-smoke perf-gate rebaseline obs-demo
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	ruff check .
+	ruff format --check src/repro/obs tests/obs
+
+format:
+	ruff format src/repro/obs tests/obs
+
+# Figure 5 smoke benchmark; leaves metrics + Chrome trace + flight-recorder
+# artifacts in benchmarks/artifacts/.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/test_fig5_bandwidth.py -q
+
+# Compare the freshest smoke-bench artifact against benchmarks/baseline.json.
+perf-gate:
+	$(PYTHON) benchmarks/compare_baseline.py
+
+# Refresh the checked-in baseline after an *intentional* performance shift:
+# re-runs the smoke bench, rewrites baseline.json, and you commit the result.
+rebaseline: bench-smoke
+	$(PYTHON) benchmarks/compare_baseline.py --rebaseline
+
+obs-demo:
+	$(PYTHON) -m repro.harness obs --ops 200 --slo-put-us 100 \
+		--trace-out /tmp/kaml_trace.json --flight-out /tmp/kaml_flight.jsonl

@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""CI perf gate: compare the fig5 smoke-bench artifact to baseline.json.
+
+Thin wrapper so CI (and humans) can run the gate without fiddling with
+PYTHONPATH::
+
+    python benchmarks/compare_baseline.py
+    python benchmarks/compare_baseline.py --rebaseline   # or: make rebaseline
+
+All logic lives in :mod:`repro.harness.baseline`.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness.baseline import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,27 @@ def artifact():
 
 
 @pytest.fixture
+def trace_artifact():
+    """Export a tracer's flight-recorder window as Chrome trace + JSONL.
+
+    CI uploads both alongside the metrics artifact, so every smoke-bench
+    run leaves a Perfetto-loadable trace and the raw span stream behind.
+    """
+    from repro.obs import write_chrome_trace
+
+    def _trace_artifact(name: str, tracer) -> pathlib.Path:
+        ARTIFACTS_DIR.mkdir(exist_ok=True)
+        trace_path = ARTIFACTS_DIR / f"{name}_trace.json"
+        write_chrome_trace(
+            str(trace_path), tracer.recorder.events(), process_name=name
+        )
+        tracer.recorder.write_jsonl(str(ARTIFACTS_DIR / f"{name}_flight.jsonl"))
+        return trace_path
+
+    return _trace_artifact
+
+
+@pytest.fixture
 def run_once(benchmark):
     """Run an experiment exactly once under pytest-benchmark timing."""
 

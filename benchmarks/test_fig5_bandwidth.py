@@ -5,10 +5,11 @@ from repro.harness import format_table
 from repro.harness.experiments import fig5_bandwidth
 
 
-def test_fig5_bandwidth(run_once, emit, artifact):
+def test_fig5_bandwidth(run_once, emit, artifact, trace_artifact):
     result = run_once(fig5_bandwidth, ops_per_thread=25)
     emit(format_table(result["title"], result["headers"], result["rows"]))
     artifact("fig5_bandwidth", result)
+    trace_artifact("fig5", result["tracer"])
     m = result["metrics"]
 
     # Fig 5a: Get beats read at low load factor...

@@ -65,6 +65,8 @@ class KamlStore:
         self.ssd = ssd
         self.costs = costs or ssd.config.host
         self.metrics = ssd.metrics
+        self.tracer = ssd.tracer
+        self.slo = ssd.slo
         self.buffer = BufferManager(env, ssd, cache_bytes, self.costs)
         self.locks = LockManager(
             env, self.costs, records_per_lock=records_per_lock, metrics=self.metrics
@@ -104,11 +106,18 @@ class KamlStore:
             return None
         if staged is not None:
             return staged[0]
-        yield from self.locks.acquire(
-            txn, self.locks.lock_name(namespace_id, key), LockMode.SHARED
+        ctx = self.tracer.request(
+            "store.txn.read", txn=txn.txn_id, namespace=namespace_id, key=key
         )
-        txn.reads.add((namespace_id, key))
-        result = yield from self.buffer.read(namespace_id, key)
+        try:
+            with ctx.span("lock.acquire", parent=ctx.root, mode="S"):
+                yield from self.locks.acquire(
+                    txn, self.locks.lock_name(namespace_id, key), LockMode.SHARED
+                )
+            txn.reads.add((namespace_id, key))
+            result = yield from self.buffer.read(namespace_id, key, ctx=ctx)
+        finally:
+            ctx.close()
         return result[0] if result is not None else None
 
     def transaction_read_for_update(
@@ -126,11 +135,18 @@ class KamlStore:
             return None
         if staged is not None:
             return staged[0]
-        yield from self.locks.acquire(
-            txn, self.locks.lock_name(namespace_id, key), LockMode.EXCLUSIVE
+        ctx = self.tracer.request(
+            "store.txn.read_for_update", txn=txn.txn_id, namespace=namespace_id, key=key
         )
-        txn.reads.add((namespace_id, key))
-        result = yield from self.buffer.read(namespace_id, key)
+        try:
+            with ctx.span("lock.acquire", parent=ctx.root, mode="X"):
+                yield from self.locks.acquire(
+                    txn, self.locks.lock_name(namespace_id, key), LockMode.EXCLUSIVE
+                )
+            txn.reads.add((namespace_id, key))
+            result = yield from self.buffer.read(namespace_id, key, ctx=ctx)
+        finally:
+            ctx.close()
         return result[0] if result is not None else None
 
     def transaction_update(
@@ -177,19 +193,36 @@ class KamlStore:
             else:
                 value, size = staged
                 items.append(PutItem(namespace_id, key, value, size))
-        if items:
-            yield from self.ssd.put(items)
-            for item in items:
-                yield from self.buffer.install_clean(
-                    item.namespace_id, item.key, item.value, item.size
-                )
-        for namespace_id, key in deletes:
-            yield from self.ssd.delete(namespace_id, key)
-            self.buffer.discard(namespace_id, key)
-        yield self.env.timeout(self.costs.txn_overhead_us)
-        txn.mark_committed()
-        self.locks.release_all(txn)
-        self.metrics.counter("store.txn.committed").inc()
+        started = self.env.now
+        ctx = self.tracer.request(
+            "store.txn.commit",
+            txn=txn.txn_id,
+            records=len(items),
+            deletes=len(deletes),
+        )
+        try:
+            if items:
+                yield from self.ssd.put(items, ctx=ctx)
+                for item in items:
+                    yield from self.buffer.install_clean(
+                        item.namespace_id, item.key, item.value, item.size
+                    )
+            for namespace_id, key in deletes:
+                yield from self.ssd.delete(namespace_id, key)
+                self.buffer.discard(namespace_id, key)
+            yield self.env.timeout(self.costs.txn_overhead_us)
+            txn.mark_committed()
+            self.locks.release_all(txn)
+            self.metrics.counter("store.txn.committed").inc()
+        finally:
+            ctx.close()
+            self.slo.record(
+                "txn.commit",
+                items[0].namespace_id if items else None,
+                started,
+                self.env.now,
+                ctx.trace_id,
+            )
 
     def transaction_abort(self, txn: Transaction) -> Any:
         """``TransactionAbort()``: discard private copies, release locks."""
@@ -211,13 +244,29 @@ class KamlStore:
 
     def get(self, namespace_id: int, key: int) -> Any:
         """Cache-accelerated read outside any transaction."""
-        result = yield from self.buffer.read(namespace_id, key)
+        started = self.env.now
+        ctx = self.tracer.request("store.get", namespace=namespace_id, key=key)
+        try:
+            result = yield from self.buffer.read(namespace_id, key, ctx=ctx)
+        finally:
+            ctx.close()
+            self.slo.record(
+                "store.get", namespace_id, started, self.env.now, ctx.trace_id
+            )
         return result[0] if result is not None else None
 
     def put(self, namespace_id: int, key: int, value: Any, size: int) -> Any:
         """Durable single-record write (write-through)."""
-        yield from self.ssd.put([PutItem(namespace_id, key, value, size)])
-        yield from self.buffer.install_clean(namespace_id, key, value, size)
+        started = self.env.now
+        ctx = self.tracer.request("store.put", namespace=namespace_id, key=key)
+        try:
+            yield from self.ssd.put([PutItem(namespace_id, key, value, size)], ctx=ctx)
+            yield from self.buffer.install_clean(namespace_id, key, value, size)
+        finally:
+            ctx.close()
+            self.slo.record(
+                "store.put", namespace_id, started, self.env.now, ctx.trace_id
+            )
 
     def put_cached(self, namespace_id: int, key: int, value: Any, size: int) -> Any:
         """Write-back write: dirty in cache, flushed on eviction/flush."""

@@ -13,7 +13,7 @@ from typing import Any, Tuple
 
 from repro.config import HostCosts
 from repro.kaml import KamlSsd, PutItem
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, TraceContext
 from repro.sim import Environment
 
 
@@ -86,23 +86,36 @@ class BufferManager:
     # Reads
     # ------------------------------------------------------------------
 
-    def read(self, namespace_id: int, key: int) -> Any:
+    def read(
+        self, namespace_id: int, key: int, ctx: "TraceContext" = None
+    ) -> Any:
         """Return ``(value, size)`` or None; fills from the SSD on miss."""
+        cache_span = ctx.begin(
+            "cache.read", namespace=namespace_id, key=key
+        ) if ctx is not None else None
         yield self.env.timeout(self.costs.cache_probe_us)
         cache_key = (namespace_id, key)
         self.metrics.counter("cache.reads", namespace=namespace_id).inc()
-        entry = self._entries.get(cache_key)
-        if entry is not None:
-            self.metrics.counter("cache.hits", namespace=namespace_id).inc()
-            self._entries.move_to_end(cache_key)
-            return entry.value, entry.size
-        self.metrics.counter("cache.misses", namespace=namespace_id).inc()
-        result = yield from self.ssd.get_record(namespace_id, key)
-        if result is None:
-            return None
-        value, size = result
-        yield from self._insert(cache_key, value, size, dirty=False)
-        return value, size
+        try:
+            entry = self._entries.get(cache_key)
+            if entry is not None:
+                self.metrics.counter("cache.hits", namespace=namespace_id).inc()
+                if cache_span is not None:
+                    cache_span.tags["hit"] = True
+                self._entries.move_to_end(cache_key)
+                return entry.value, entry.size
+            self.metrics.counter("cache.misses", namespace=namespace_id).inc()
+            if cache_span is not None:
+                cache_span.tags["hit"] = False
+            result = yield from self.ssd.get_record(namespace_id, key, ctx=ctx)
+            if result is None:
+                return None
+            value, size = result
+            yield from self._insert(cache_key, value, size, dirty=False)
+            return value, size
+        finally:
+            if ctx is not None:
+                ctx.finish(cache_span)
 
     # ------------------------------------------------------------------
     # Writes

@@ -164,6 +164,11 @@ class HashIndex:
             if slot is not None and slot is not _TOMBSTONE:
                 yield slot
 
+    def values(self) -> Iterator[Any]:
+        for slot in self._slots:
+            if slot is not None and slot is not _TOMBSTONE:
+                yield slot[1]
+
     @classmethod
     def sized_for(cls, expected_keys: int, target_load: float = 0.75) -> "HashIndex":
         """A table that stays at/below ``target_load`` with ``expected_keys``."""
@@ -250,6 +255,11 @@ class BucketedHashIndex:
             for entry in bucket:
                 yield entry
 
+    def values(self) -> Iterator[Any]:
+        for bucket in self._buckets:
+            for entry in bucket:
+                yield entry[1]
+
     @classmethod
     def sized_for(
         cls, expected_keys: int, target_load: float = 0.75, bucket_slots: int = 8
@@ -326,6 +336,9 @@ class SortedIndex:
 
     def items(self) -> Iterator[Tuple[int, Any]]:
         yield from zip(self._keys, self._values)
+
+    def values(self) -> Iterator[Any]:
+        yield from self._values
 
     def range(self, low: int, high: int) -> Iterator[Tuple[int, Any]]:
         """All (key, location) with ``low <= key <= high`` in key order."""

@@ -32,7 +32,7 @@ from repro.flash import FlashArray, PagePointer, WearOutError
 from repro.ftl.gc_policy import GcCandidate, WearAwarePolicy
 from repro.ftl.locktable import LockTable
 from repro.ftl.mapping import DirectMap
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, Tracer
 from repro.sim import Environment, Gate
 from repro.ssd import FirmwarePool, NvramBuffer
 
@@ -120,6 +120,8 @@ class PageFtl:
             clock=lambda: env.now
         )
         env.attach_metrics(self.metrics)
+        self.tracer = Tracer(clock=lambda: env.now)
+        env.attach_tracer(self.tracer)
         self.geometry = config.geometry
         self.params = config.block_ftl
         self.costs = config.firmware
@@ -164,11 +166,14 @@ class PageFtl:
             raise FtlError(f"read size {nbytes} outside (0, {LOGICAL_PAGE}]")
         self.metrics.counter("ftl.host_reads").inc()
         started = self.env.now
+        ctx = self.tracer.request("ftl.read", lpn=lpn, bytes=nbytes)
         yield from self.firmware.execute(
             self.costs.dispatch_us + self.costs.lba_lock_us + self.costs.array_map_us
         )
         lock_wait = self.env.now
         yield from self._page_locks.acquire(lpn, owner="read")
+        if self.env.now > lock_wait:
+            ctx.record_span("ftl.lba_lock_wait", start_us=lock_wait)
         self.metrics.observe("ftl.lba_lock_wait_us", self.env.now - lock_wait)
         try:
             inflight = self._inflight.get(lpn)
@@ -178,10 +183,14 @@ class PageFtl:
             if location is None:
                 return None
             pointer, slot = location
-            data, oob = yield from self.array.read_page(pointer, transfer_bytes=nbytes)
+            with ctx.span("ftl.flash_read", parent=ctx.root):
+                data, oob = yield from self.array.read_page(
+                    pointer, transfer_bytes=nbytes
+                )
             return data[slot]
         finally:
             self._page_locks.release(lpn)
+            ctx.close()
             self.metrics.observe("ftl.read.us", self.env.now - started)
 
     def write(self, lpn: int, data: Any, nbytes: int = LOGICAL_PAGE) -> Any:
@@ -197,10 +206,15 @@ class PageFtl:
         self.metrics.counter("ftl.host_writes").inc()
         self.metrics.counter("ftl.host_write_bytes").inc(nbytes)
         started = self.env.now
+        ctx = self.tracer.request("ftl.write", lpn=lpn, bytes=nbytes)
         yield from self.firmware.execute(self.costs.dispatch_us + self.costs.lba_lock_us)
         if nbytes < LOGICAL_PAGE:
-            yield from self._read_for_merge(lpn)
+            with ctx.span("ftl.rmw_read", parent=ctx.root):
+                yield from self._read_for_merge(lpn)
+        reserve_start = self.env.now
         handle = yield self.nvram.reserve(LOGICAL_PAGE, payload=(lpn, data))
+        if self.env.now > reserve_start:
+            ctx.record_span("ftl.nvram_reserve", start_us=reserve_start)
         yield from self.firmware.execute(
             LOGICAL_PAGE / self.costs.nvram_copy_bytes_per_us
         )
@@ -225,6 +239,7 @@ class PageFtl:
         elif len(self._fill) == 1:
             self.env.process(self._fill_timer(self._fill_generation))
         # The command is complete: data is durable in NVRAM.
+        ctx.close()
         self.metrics.observe("ftl.write.us", self.env.now - started)
 
     def flush(self) -> Any:
@@ -414,6 +429,9 @@ class PageFtl:
 
     def _gc_process(self, target: _Target) -> Any:
         """Reclaim blocks on one target until its free pool recovers."""
+        ctx = self.tracer.request(
+            "ftl.gc", channel=target.channel, chip=target.chip
+        )
         try:
             while len(target.free) < self.params.gc_restore_target:
                 candidates = [
@@ -424,21 +442,27 @@ class PageFtl:
                     break  # nothing worth reclaiming
                 block_index = victim.token
                 target.full.remove(block_index)
-                yield from self._relocate_block(target, block_index)
+                with ctx.span("gc.relocate_block", parent=ctx.root, block=block_index):
+                    yield from self._relocate_block(target, block_index)
                 pointer = PagePointer(target.channel, target.chip, block_index, 0)
+                erase_span = ctx.begin("gc.erase", parent=ctx.root, block=block_index)
                 try:
                     yield from self.array.erase_block(pointer)
                 except WearOutError:
                     # Endurance exceeded: retire the block (capacity loss).
                     self.metrics.counter("ftl.retired_blocks").inc()
+                    erase_span.tags["retired"] = True
+                    ctx.finish(erase_span)
                     self._valid.pop((target.channel, target.chip, block_index), None)
                     continue
+                ctx.finish(erase_span)
                 self.metrics.counter("ftl.gc.erased_blocks").inc()
                 self._valid.pop((target.channel, target.chip, block_index), None)
                 target.free.append(block_index)
                 target.space_gate.fire()
         finally:
             target.gc_running = False
+            ctx.close()
             # Wake blocked writers so they re-check (and fail loudly if
             # nothing was reclaimed).
             target.space_gate.fire()

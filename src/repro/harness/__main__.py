@@ -6,11 +6,13 @@ Regenerate any figure of the paper from a shell::
     python -m repro.harness fig9 fig10    # several in one go
     python -m repro.harness all           # the full evaluation
     python -m repro.harness --list
+    python -m repro.harness obs --ops 200 --slo-put-us 150   # obs driver
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -33,24 +35,39 @@ EXPERIMENTS = {
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # The observability driver has its own flag surface; hand it the rest
+    # of the command line untouched.
+    if argv and argv[0] == "obs":
+        from repro.harness import obs_cli
+
+        return obs_cli.main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the KAML paper's evaluation figures.",
     )
     parser.add_argument(
         "figures", nargs="*",
-        help=f"which experiments to run: {', '.join(EXPERIMENTS)} or 'all'",
+        help=f"which experiments to run: {', '.join(EXPERIMENTS)}, "
+             "'all', or the 'obs' observability driver (see 'obs --help')",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument(
         "--metrics", action="store_true",
         help="also print the metrics-registry report of experiments that export one",
     )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the workload RNG seed of experiments that accept one",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.figures:
         for name, (_func, description) in EXPERIMENTS.items():
             print(f"{name:10} {description}")
+        print(f"{'obs':10} observability driver (tracing/SLO dashboard)")
         return 0
 
     names = list(EXPERIMENTS) if "all" in args.figures else args.figures
@@ -59,8 +76,11 @@ def main(argv=None) -> int:
             print(f"unknown experiment: {name!r} (see --list)", file=sys.stderr)
             return 2
         func, _description = EXPERIMENTS[name]
+        kwargs = {}
+        if args.seed is not None and "seed" in inspect.signature(func).parameters:
+            kwargs["seed"] = args.seed
         started = time.time()
-        result = func()
+        result = func(**kwargs)
         print(format_table(result["title"], result["headers"], result["rows"]))
         if args.metrics and result.get("registry") is not None:
             from repro.harness.reporting import format_registry

@@ -11,7 +11,7 @@ These are not paper figures; they isolate individual mechanisms:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.config import FlashGeometry, KamlParams, ReproConfig
 from repro.ftl.gc_policy import CostBenefitPolicy, GreedyPolicy, WearAwarePolicy
@@ -291,6 +291,7 @@ def group_commit_ablation(
     txns_per_thread: int = 25,
     branches: int = 4,
     accounts_per_branch: int = 400,
+    seed: Optional[int] = None,
 ) -> Dict[str, Any]:
     """TPC-B on the baseline with and without group commit."""
     rows: List[List[Any]] = []
@@ -299,7 +300,8 @@ def group_commit_ablation(
         env, engine = build_shore_engine(group_commit=group_commit)
         adapter = ShoreAdapter(engine)
         tpcb = TpcB(env, adapter, branches=branches,
-                    accounts_per_branch=accounts_per_branch)
+                    accounts_per_branch=accounts_per_branch,
+                    **({} if seed is None else {"seed": seed}))
         tpcb.setup()
         result = tpcb.run(threads=threads, txns_per_thread=txns_per_thread)
         label = "group commit" if group_commit else "fsync per commit"

@@ -1,0 +1,165 @@
+"""Performance-baseline bookkeeping and the CI regression gate.
+
+``benchmarks/baseline.json`` pins the expected Figure 5 smoke-bench
+numbers: per-point bandwidth (higher is better) and the SLO p99
+latencies of the final KAML stack (lower is better).  The simulation is
+deterministic, so the checked-in values are machine-independent; the
+gate compares a fresh run's artifact against them with a relative
+tolerance and fails CI on a >15% regression.
+
+Update the baseline deliberately (after a change that is *supposed* to
+shift performance) with ``make rebaseline`` — never by editing numbers
+by hand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Default relative tolerance: a metric may degrade by up to 15%.
+DEFAULT_TOLERANCE = 0.15
+
+
+def build_baseline(result: Dict[str, Any]) -> Dict[str, Any]:
+    """Distil a fig5 result (or its JSON artifact) into baseline form."""
+    metrics = result.get("metrics") or {}
+    slo = result.get("slo") or {}
+    return {
+        "experiment": "fig5_bandwidth",
+        "tolerance": DEFAULT_TOLERANCE,
+        "bandwidth_mb_s": {key: float(value) for key, value in metrics.items()},
+        "latency_p99_us": {
+            series: float(row["p99"])
+            for series, row in slo.items()
+            if "p99" in row
+        },
+    }
+
+
+def compare(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: Optional[float] = None,
+) -> Tuple[List[str], List[str]]:
+    """Return ``(failures, report_lines)`` for current vs baseline.
+
+    Bandwidth regresses when it *drops* more than ``tolerance`` below the
+    baseline; p99 latency regresses when it *rises* more than
+    ``tolerance`` above it.  A metric present in the baseline but missing
+    from the current run is a failure (coverage must not silently
+    shrink); new metrics in the current run are reported but never fail.
+    """
+    tol = tolerance if tolerance is not None else float(
+        baseline.get("tolerance", DEFAULT_TOLERANCE)
+    )
+    failures: List[str] = []
+    report: List[str] = []
+
+    def check(kind: str, expected: Dict[str, float],
+              actual: Dict[str, float], lower_is_regression: bool) -> None:
+        for key in sorted(expected):
+            base_value = float(expected[key])
+            if key not in actual:
+                failures.append(f"{kind}: {key!r} missing from the current run")
+                continue
+            value = float(actual[key])
+            if base_value == 0.0:
+                delta = 0.0 if value == 0.0 else float("inf")
+            else:
+                delta = (value - base_value) / base_value
+            regressed = (
+                delta < -tol if lower_is_regression else delta > tol
+            )
+            marker = "FAIL" if regressed else "ok"
+            report.append(
+                f"  [{marker:>4}] {kind} {key}: {value:.3f} vs {base_value:.3f} "
+                f"({delta:+.1%}, tolerance {tol:.0%})"
+            )
+            if regressed:
+                failures.append(
+                    f"{kind}: {key} changed {delta:+.1%} "
+                    f"(limit {tol:.0%}): {value:.3f} vs baseline {base_value:.3f}"
+                )
+
+    check(
+        "bandwidth",
+        baseline.get("bandwidth_mb_s", {}),
+        current.get("bandwidth_mb_s", {}),
+        lower_is_regression=True,
+    )
+    check(
+        "p99-latency",
+        baseline.get("latency_p99_us", {}),
+        current.get("latency_p99_us", {}),
+        lower_is_regression=False,
+    )
+    return failures, report
+
+
+def _load_json(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _write_json(path: str, payload: Dict[str, Any]) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.baseline",
+        description="Compare a fig5 smoke-bench artifact against the "
+                    "checked-in performance baseline.",
+    )
+    parser.add_argument(
+        "--artifact", default="benchmarks/artifacts/fig5_bandwidth.json",
+        help="result JSON written by the smoke benchmark",
+    )
+    parser.add_argument(
+        "--baseline", default="benchmarks/baseline.json",
+        help="checked-in baseline to gate against",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help="relative tolerance override (default: the baseline's own, "
+             f"falling back to {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--rebaseline", action="store_true",
+        help="overwrite the baseline with the current artifact's numbers",
+    )
+    args = parser.parse_args(argv)
+
+    current = build_baseline(_load_json(args.artifact))
+    if args.rebaseline:
+        _write_json(args.baseline, current)
+        print(f"baseline rewritten from {args.artifact} -> {args.baseline}")
+        return 0
+
+    baseline = _load_json(args.baseline)
+    failures, report = compare(current, baseline, tolerance=args.tolerance)
+    print(f"perf gate: {args.artifact} vs {args.baseline}")
+    for line in report:
+        print(line)
+    if failures:
+        print(f"\nPERF GATE FAILED ({len(failures)} regression(s)):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print(
+            "\nIf the change is intentional, refresh the baseline with "
+            "'make rebaseline' and commit benchmarks/baseline.json.",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,7 @@ the *shapes* (who wins, by roughly what factor, where crossovers fall).
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.config import ReproConfig
 from repro.harness.runner import (
@@ -124,6 +124,10 @@ def fig5_bandwidth(
         # Metrics registry of the final KAML stack: per-namespace bandwidth
         # counters, Put phase histograms, GC and firmware telemetry.
         "registry": ssd.metrics,
+        # Tracer of the same stack: its flight recorder holds the span
+        # stream of the final sweep point (Chrome-trace export, SLO dumps).
+        "tracer": ssd.tracer,
+        "slo": ssd.slo.latency_summary(),
     }
 
 
@@ -308,6 +312,7 @@ def fig9_oltp(
     customers_per_district: int = 20,
     items: int = 200,
     cache_bytes: int = 64 << 20,
+    seed: Optional[int] = None,
 ) -> Dict[str, Any]:
     rows: List[List[Any]] = []
     metrics: Dict[str, float] = {}
@@ -328,7 +333,8 @@ def fig9_oltp(
     for label, make in systems:
         env, adapter = make()
         tpcb = TpcB(env, adapter, branches=branches,
-                    accounts_per_branch=accounts_per_branch)
+                    accounts_per_branch=accounts_per_branch,
+                    **({} if seed is None else {"seed": seed}))
         tpcb.setup()
         result = tpcb.run(threads=threads, txns_per_thread=tpcb_txns)
         rows.append(["TPC-B AccountUpdate", label, result.tps, result.aborts])
@@ -337,7 +343,8 @@ def fig9_oltp(
     for label, make in systems:
         env, adapter = make()
         tpcc = TpcC(env, adapter, warehouses=warehouses,
-                    customers_per_district=customers_per_district, items=items)
+                    customers_per_district=customers_per_district, items=items,
+                    **({} if seed is None else {"seed": seed}))
         tpcc.setup()
         new_order = tpcc.run_new_order(threads=threads, txns_per_thread=tpcc_txns)
         payment = tpcc.run_payment(threads=threads, txns_per_thread=tpcc_txns * 2)
@@ -364,6 +371,7 @@ def fig10_ycsb(
     threads: int = 8,
     ops_per_thread: int = 40,
     cache_fraction: float = 0.4,
+    seed: Optional[int] = None,
 ) -> Dict[str, Any]:
     rows: List[List[Any]] = []
     metrics: Dict[str, float] = {}
@@ -372,15 +380,18 @@ def fig10_ycsb(
     pool_pages = max(64, cache_bytes // 4096)
 
     for workload in workloads:
+        seed_kw = {} if seed is None else {"seed": seed}
         env, _ssd, store = build_kaml_store(cache_bytes=cache_bytes)
         adapter = KamlAdapter(store)
-        ycsb = Ycsb(env, adapter, records=records, workload=workload)
+        ycsb = Ycsb(env, adapter, records=records, workload=workload, **seed_kw)
         ycsb.setup()
         kaml_result = ycsb.run(threads=threads, ops_per_thread=ops_per_thread)
 
         env, engine = build_shore_engine(pool_pages=pool_pages)
         shore_adapter = ShoreAdapter(engine)
-        ycsb_shore = Ycsb(env, shore_adapter, records=records, workload=workload)
+        ycsb_shore = Ycsb(
+            env, shore_adapter, records=records, workload=workload, **seed_kw
+        )
         ycsb_shore.setup()
         shore_result = ycsb_shore.run(threads=threads, ops_per_thread=ops_per_thread)
 
@@ -409,12 +420,16 @@ def conflict_model(
     keys: int = 4096,
     lock_sizes=(1, 2, 4, 8, 16, 32, 64),
     trials: int = 2000,
+    seed: Optional[int] = None,
 ) -> Dict[str, Any]:
     rows: List[List[Any]] = []
     metrics: Dict[str, float] = {}
+    seed_kw = {} if seed is None else {"seed": seed}
     for keys_per_lock in lock_sizes:
         analytic = expected_conflicts_uniform(requests, keys, keys_per_lock)
-        simulated = simulate_conflicts(requests, keys, keys_per_lock, trials=trials)
+        simulated = simulate_conflicts(
+            requests, keys, keys_per_lock, trials=trials, **seed_kw
+        )
         rows.append([keys_per_lock, analytic, simulated])
         metrics[f"analytic/{keys_per_lock}"] = analytic
         metrics[f"simulated/{keys_per_lock}"] = simulated

@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Optional, Sequence
 
-from repro.obs import MetricsRegistry, to_builtin, to_text
+from repro.obs import MetricsRegistry, Tracer, to_builtin, to_text
 
 
 def _render(value: Any) -> str:
@@ -44,16 +44,19 @@ def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any
     lines = [title, "=" * len(title)]
     lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(names)))
     lines.append("  ".join("-" * widths[i] for i in range(columns)))
-    for row in rendered:
-        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(columns)))
+    lines.extend(
+        "  ".join(row[i].ljust(widths[i]) for i in range(columns))
+        for row in rendered
+    )
     return "\n".join(lines)
 
 
 def format_kv(title: str, pairs: Dict[str, Any]) -> str:
     lines = [title, "=" * len(title)]
     width = max(len(k) for k in pairs) if pairs else 0
-    for key, value in pairs.items():
-        lines.append(f"{key.ljust(width)}  {_render(value)}")
+    lines.extend(
+        f"{key.ljust(width)}  {_render(value)}" for key, value in pairs.items()
+    )
     return "\n".join(lines)
 
 
@@ -61,13 +64,19 @@ def to_json(result: Dict[str, Any], path: Optional[str] = None, indent: int = 2)
     """Serialise an experiment result dict (and optionally write it).
 
     Embedded :class:`MetricsRegistry` values (e.g. a ``"registry"`` key)
-    are expanded through the obs exporter; anything else non-serialisable
+    are expanded through the obs exporter and :class:`Tracer` values
+    collapse to their per-span summary; anything else non-serialisable
     falls back to ``str``.
     """
-    payload = {
-        key: to_builtin(value) if isinstance(value, MetricsRegistry) else value
-        for key, value in result.items()
-    }
+
+    def _expand(value: Any) -> Any:
+        if isinstance(value, MetricsRegistry):
+            return to_builtin(value)
+        if isinstance(value, Tracer):
+            return value.summary()
+        return value
+
+    payload = {key: _expand(value) for key, value in result.items()}
     text = json.dumps(payload, indent=indent, sort_keys=True, default=str)
     if path is not None:
         with open(path, "w") as handle:

@@ -21,6 +21,7 @@ from repro.config import ReproConfig
 from repro.flash import FlashArray, PagePointer, WearOutError
 from repro.ftl.gc_policy import GcCandidate, WearAwarePolicy
 from repro.kaml.record import PageAssembly, Record, RecordLocation, RecordTooLargeError
+from repro.obs import NULL_CONTEXT, NullTracer, TraceContext
 from repro.sim import Environment, Event, Gate, SimLock
 
 
@@ -107,6 +108,9 @@ class KamlLog:
             from repro.obs import MetricsRegistry
 
             self.metrics = MetricsRegistry(clock=lambda: env.now)
+        self.tracer = getattr(hooks, "tracer", None) or NullTracer()
+        #: Monotonic id for GC passes; tags every span of one pass.
+        self._gc_generation = 0
         self.gc_policy = WearAwarePolicy()
         self.gc_policy.metrics = self.metrics
         self.stats = LogStats(self.metrics, log_id)
@@ -139,11 +143,22 @@ class KamlLog:
     # Appending
     # ------------------------------------------------------------------
 
-    def append(self, record: Record) -> Any:
+    def append(
+        self, record: Record, ctx: TraceContext = NULL_CONTEXT, parent=None
+    ) -> Any:
         """Append one record; returns its :class:`RecordLocation` once the
         containing page is programmed (Put phase 2, Section IV-D)."""
+        started = self.env.now
         event = self._stage(record, for_gc=False)
         location = yield event
+        ctx.record_span(
+            "log.append",
+            start_us=started,
+            parent=parent,
+            log=self.log_id,
+            namespace=record.namespace_id,
+            key=record.key,
+        )
         return location
 
     def _stage(self, record: Record, for_gc: bool) -> Event:
@@ -313,6 +328,11 @@ class KamlLog:
 
     def _gc_process(self) -> Any:
         epoch = self.epoch
+        self._gc_generation += 1
+        ctx = self.tracer.request(
+            "kaml.gc", log=self.log_id, generation=self._gc_generation
+        )
+        gc_span = ctx.root
         try:
             while len(self.free) < self.params.gc_restore_target:
                 if self.epoch != epoch:
@@ -325,11 +345,30 @@ class KamlLog:
                     break
                 block_index = victim.token
                 self.full.remove(block_index)
-                yield from self._clean_block(block_index)
+                clean_span = ctx.begin(
+                    "gc.clean_block",
+                    parent=gc_span,
+                    log=self.log_id,
+                    block=block_index,
+                    generation=self._gc_generation,
+                )
+                yield from self._clean_block(block_index, ctx, clean_span)
+                ctx.finish(clean_span)
                 if self.epoch != epoch:
                     return
                 block_key = self.block_key(block_index)
+                pin_wait_start = self.env.now
                 yield from self.hooks.wait_unpinned(block_key)
+                if self.env.now > pin_wait_start:
+                    ctx.record_span(
+                        "gc.pin_wait",
+                        start_us=pin_wait_start,
+                        parent=gc_span,
+                        block=block_index,
+                    )
+                erase_span = ctx.begin(
+                    "gc.erase", parent=gc_span, log=self.log_id, block=block_index
+                )
                 try:
                     yield from self.array.erase_block(
                         PagePointer(self.channel, self.chip, block_index, 0)
@@ -342,8 +381,12 @@ class KamlLog:
                     self.metrics.counter(
                         "kaml.log.retired_blocks", log=self.log_id
                     ).inc()
+                    if erase_span is not None:
+                        erase_span.tags["retired"] = True
+                    ctx.finish(erase_span)
                     self.hooks.block_erased(block_key)
                     continue
+                ctx.finish(erase_span)
                 self.metrics.counter(
                     "kaml.log.gc.erased_blocks", log=self.log_id
                 ).inc()
@@ -352,6 +395,7 @@ class KamlLog:
                 self.space_gate.fire()
         finally:
             self.gc_running = False
+            ctx.close()
             # Wake any flush that was waiting so it can re-check state.
             self.space_gate.fire()
 
@@ -370,7 +414,9 @@ class KamlLog:
             available += self.geometry.pages_per_block - self._active_wp[True]
         return required_pages <= available
 
-    def _clean_block(self, block_index: int) -> Any:
+    def _clean_block(
+        self, block_index: int, ctx: TraceContext = NULL_CONTEXT, parent=None
+    ) -> Any:
         """Relocate every still-valid record out of a victim block."""
         self.metrics.observe(
             "kaml.gc.victim_valid_bytes",
@@ -407,6 +453,14 @@ class KamlLog:
                     "kaml.log.gc.relocated_records", log=self.log_id
                 ).inc()
                 moved_bytes += record.size
+                ctx.event(
+                    "gc.relocate",
+                    parent=parent,
+                    log=self.log_id,
+                    namespace=record.namespace_id,
+                    key=record.key,
+                    block=block_index,
+                )
         self.metrics.counter(
             "kaml.log.gc.moved_bytes", log=self.log_id
         ).inc(moved_bytes)

@@ -37,7 +37,7 @@ from repro.kaml.log import KamlLog
 from repro.kaml.namespace import Namespace, NamespaceAttributes, NamespaceError
 from repro.kaml.record import Record, RecordLocation, RecordTooLargeError, chunks_for
 from repro.kaml.snapshot import Snapshot, SnapshotError, clone_index
-from repro.obs import MetricsRegistry
+from repro.obs import NULL_CONTEXT, MetricsRegistry, SloTracker, TraceContext, Tracer
 from repro.sim import Environment, Gate, Process
 from repro.ssd import FirmwarePool, HostInterconnect, NvramBuffer, OnboardDram
 
@@ -116,6 +116,11 @@ class KamlSsd:
             clock=lambda: env.now
         )
         env.attach_metrics(self.metrics)
+        #: Request-scoped tracing: one tracer + flight recorder per stack,
+        #: and the per-namespace latency SLO tracker on top of both.
+        self.tracer = Tracer(clock=lambda: env.now)
+        env.attach_tracer(self.tracer)
+        self.slo = SloTracker(self.metrics, self.tracer.recorder)
         self.array = FlashArray(env, config.geometry, config.flash)
         self.firmware = FirmwarePool(env, config.resources.firmware_contexts)
         self.firmware.metrics = self.metrics
@@ -185,7 +190,7 @@ class KamlSsd:
                 f"namespace {namespace_id} has live snapshots; delete them first"
             )
         if namespace.index is not None:
-            for _key, location in namespace.index.items():
+            for location in namespace.index.values():
                 self._adjust_valid(location, -1)
         for entry_key in [k for k in self._staged if k[0] == namespace_id]:
             del self._staged[entry_key]
@@ -249,15 +254,25 @@ class KamlSsd:
         result = yield from self.get_record(namespace_id, key)
         return result[0] if result is not None else None
 
-    def get_record(self, namespace_id: int, key: int) -> Any:
+    def get_record(
+        self, namespace_id: int, key: int, ctx: Optional[TraceContext] = None
+    ) -> Any:
         """``Get`` returning ``(value, size)`` — what the caching layer uses."""
         namespace = self._namespace(namespace_id)
         namespace.require_resident()
         self.metrics.counter("kaml.ssd.gets", namespace=namespace_id).inc()
+        owns_ctx = ctx is None
+        if owns_ctx:
+            ctx = self.tracer.request("kaml.get", namespace=namespace_id, key=key)
+            get_span = ctx.root
+        else:
+            get_span = ctx.begin("kaml.get", namespace=namespace_id, key=key)
         started = self.env.now
         try:
+            dispatch_span = ctx.begin("get.dispatch", parent=get_span)
             yield from self.link.command_overhead()
             yield from self.firmware.execute(self.costs.dispatch_us)
+            ctx.finish(dispatch_span)
             # A logically committed but not-yet-installed value is served from
             # the NVRAM staging area — acknowledged Puts are always visible.
             staged = self._staged.get((namespace_id, key))
@@ -265,19 +280,29 @@ class KamlSsd:
                 self.metrics.counter(
                     "kaml.ssd.get_staged_hits", namespace=namespace_id
                 ).inc()
+                get_span.tags["source"] = "staged"
                 _version, value, size = staged
                 yield from self.firmware.execute(self.costs.hash_probe_us)
                 if value is _DELETED:
                     return None
-                yield from self.link.device_to_host(size)
+                with ctx.span("get.transfer", parent=get_span):
+                    yield from self.link.device_to_host(size)
                 return value, size
+            probe_span = ctx.begin("get.index_probe", parent=get_span)
             location, scanned = namespace.index.lookup(key)
             self.metrics.observe("kaml.get.index_probes", scanned)
             yield from self.firmware.execute(scanned * self.costs.hash_probe_us)
+            ctx.finish(probe_span)
             if location is None:
+                get_span.tags["source"] = "absent"
                 return None
+            get_span.tags["source"] = "flash"
             block_key = (location.page.channel, location.page.chip, location.page.block)
             self._pin(block_key)
+            read_span = ctx.begin(
+                "get.flash_read", parent=get_span,
+                channel=block_key[0], chip=block_key[1], block=block_key[2],
+            )
             try:
                 data, _oob = yield from self.array.read_page(
                     location.page,
@@ -285,13 +310,20 @@ class KamlSsd:
                 )
             finally:
                 self._unpin(block_key)
+                ctx.finish(read_span)
             record = data[location.chunk]
-            yield from self.link.device_to_host(record.size)
+            with ctx.span("get.transfer", parent=get_span):
+                yield from self.link.device_to_host(record.size)
             return record.value, record.size
         finally:
             self.metrics.observe(
                 "kaml.get.us", self.env.now - started, namespace=namespace_id
             )
+            if owns_ctx:
+                ctx.close()
+            else:
+                ctx.finish(get_span)
+            self.slo.record("get", namespace_id, started, self.env.now, ctx.trace_id)
 
     # ------------------------------------------------------------------
     # Snapshots (extension: the indirection service the intro motivates)
@@ -323,7 +355,7 @@ class KamlSsd:
         self._next_snapshot_id += 1
         snapshot = Snapshot(snapshot_id, namespace_id, index)
         self.dram.allocate(snapshot.dram_tag, index.memory_bytes)
-        for _key, location in index.items():
+        for location in index.values():
             self._adjust_valid(location, +1)
         self.snapshots[snapshot_id] = snapshot
         # Cloning is a DRAM-to-DRAM copy inside the controller.
@@ -336,7 +368,7 @@ class KamlSsd:
     def delete_snapshot(self, snapshot_id: int) -> Any:
         """Drop a snapshot; its exclusive record versions become garbage."""
         snapshot = self._snapshot(snapshot_id)
-        for _key, location in snapshot.index.items():
+        for location in snapshot.index.values():
             self._adjust_valid(location, -1)
         self.dram.free(snapshot.dram_tag)
         del self.snapshots[snapshot_id]
@@ -401,9 +433,11 @@ class KamlSsd:
             key: ("flash", location)
             for key, location in namespace.index.range(low, high)
         }
-        for (staged_ns, staged_key), (_v, value, size) in self._staged.items():
-            if staged_ns == namespace_id and low <= staged_key <= high:
-                matches[staged_key] = ("staged", (value, size))
+        matches.update({
+            staged_key: ("staged", (value, size))
+            for (staged_ns, staged_key), (_v, value, size) in self._staged.items()
+            if staged_ns == namespace_id and low <= staged_key <= high
+        })
         yield from self.firmware.execute(
             (namespace.index._probes() + len(matches)) * self.costs.hash_probe_us
         )
@@ -434,7 +468,7 @@ class KamlSsd:
         yield from self.link.device_to_host(total_bytes)
         return results
 
-    def put(self, items: List[PutItem]) -> Any:
+    def put(self, items: List[PutItem], ctx: Optional[TraceContext] = None) -> Any:
         """``Put``: atomic multi-record update/insert.
 
         Returns once *logically committed* (phase 1); the returned
@@ -458,13 +492,35 @@ class KamlSsd:
             self.metrics.counter(
                 "kaml.put.bytes", namespace=item.namespace_id
             ).inc(item.size)
+        owns_ctx = ctx is None
+        span_tags = {
+            "namespace": items[0].namespace_id,
+            "records": len(items),
+            "keys": [item.key for item in items],
+        }
+        if owns_ctx:
+            ctx = self.tracer.request("kaml.put", **span_tags)
+            put_span = ctx.root
+        else:
+            put_span = ctx.begin("kaml.put", **span_tags)
         epoch = self.epoch
         phase1_start = self.env.now
+        phase1_span = ctx.begin(
+            "put.phase1", parent=put_span, namespace=items[0].namespace_id
+        )
         total_bytes = sum(item.size for item in items)
+        transfer_span = ctx.begin(
+            "put.transfer", parent=phase1_span, bytes=total_bytes
+        )
         yield from self.link.command_overhead()
         yield from self.link.host_to_device(total_bytes)
+        ctx.finish(transfer_span)
         nvram_wait_start = self.env.now
+        reserve_span = ctx.begin(
+            "put.nvram_reserve", parent=phase1_span, bytes=total_bytes
+        )
         handle = yield self.nvram.reserve(total_bytes, payload=list(items))
+        ctx.finish(reserve_span)
         self.metrics.observe("kaml.put.nvram_wait_us", self.env.now - nvram_wait_start)
         pin_start = self.env.now
         self.metrics.gauge("kaml.nvram.used_bytes").set(self.nvram.used_bytes)
@@ -472,6 +528,9 @@ class KamlSsd:
             self.costs.dispatch_us + total_bytes / self.costs.nvram_copy_bytes_per_us
         )
         if self.epoch != epoch:
+            put_span.tags["crashed"] = True
+            if owns_ctx:
+                ctx.close()
             return None  # crashed mid-command; NVRAM replay owns the batch
         # Phase 1: reserve/inspect every key's index entry (probe CPU cost)
         # and stage the whole batch atomically in NVRAM.  Concurrent Puts
@@ -481,6 +540,7 @@ class KamlSsd:
         # Per-record index probing/reservation spreads across the
         # controller's cores: a batch pays ~one record's latency per
         # firmware-context wave, not the serial sum.
+        probe_span = ctx.begin("put.index_probe", parent=phase1_span)
         probe_costs = []
         for item in items:
             namespace = self.namespaces[item.namespace_id]
@@ -495,7 +555,11 @@ class KamlSsd:
             yield self.env.all_of(
                 [self.env.process(self.firmware.execute(c)) for c in probe_costs]
             )
+        ctx.finish(probe_span)
         if self.epoch != epoch:
+            put_span.tags["crashed"] = True
+            if owns_ctx:
+                ctx.close()
             return None
         versions = []
         for item in items:
@@ -505,24 +569,56 @@ class KamlSsd:
                 self._version_counter, item.value, item.size,
             )
         # Logically committed: acknowledge the host, finish in background.
+        ctx.finish(phase1_span)
+        ctx.event("put.ack", parent=put_span, namespace=items[0].namespace_id)
+        # Phases 2-3 outlive the caller's context (a committing txn closes
+        # at the ack); detach so close() can't truncate the put span.
+        ctx.detach(put_span)
         self.metrics.observe("kaml.put.phase1_us", self.env.now - phase1_start)
+        self.slo.record(
+            "put", items[0].namespace_id, phase1_start, self.env.now, ctx.trace_id
+        )
         return self.env.process(
-            self._complete_put(items, versions, handle, epoch, pin_start)
+            self._complete_put(
+                items, versions, handle, epoch, pin_start, ctx, put_span, owns_ctx
+            )
         )
 
-    def _complete_put(self, items, versions, handle, epoch, pin_start) -> Any:
-        """Phases 2 and 3: flash writes, then mapping-table installs."""
+    def _complete_put(
+        self, items, versions, handle, epoch, pin_start,
+        ctx=NULL_CONTEXT, put_span=None, owns_ctx=False,
+    ) -> Any:
+        """Phases 2 and 3: flash writes, then mapping-table installs.
+
+        Background spans use backdated :meth:`TraceContext.record_span`
+        rather than open spans: a committing transaction may close its
+        context at the ack, and record-on-completion keeps these spans'
+        end times truthful regardless of who owns the context.
+        """
         if self.epoch != epoch:
+            if put_span is not None:
+                put_span.tags["crashed"] = True
+                # The span was detached at the ack, so close() alone would
+                # leak it; finish is idempotent, so doing both is safe.
+                ctx.finish(put_span)
+            if owns_ctx:
+                ctx.close()
             return
         phase2_start = self.env.now
+        phase2_span = ctx.begin("put.phase2", parent=put_span)
+        if phase2_span is not None:
+            ctx.detach(phase2_span)
         try:
             appends = []
             for item in items:
                 namespace = self.namespaces[item.namespace_id]
                 log = self.logs[namespace.next_log_id()]
                 record = Record(item.namespace_id, item.key, item.value, item.size)
-                appends.append(self.env.process(log.append(record)))
+                appends.append(
+                    self.env.process(log.append(record, ctx=ctx, parent=phase2_span))
+                )
             locations = yield self.env.all_of(appends)
+            install_start = self.env.now
             yield from self.firmware.execute(
                 len(items) * (self.costs.per_record_us + self.costs.hash_update_us)
             )
@@ -531,6 +627,7 @@ class KamlSsd:
                     self._install_versioned(
                         item.namespace_id, item.key, version, location
                     )
+            ctx.record_span("put.install", start_us=install_start, parent=phase2_span)
         finally:
             if self.epoch == epoch:
                 self.nvram.release(handle)
@@ -541,6 +638,14 @@ class KamlSsd:
                     "kaml.put.phase2_us", self.env.now - phase2_start
                 )
                 self.metrics.gauge("kaml.nvram.used_bytes").set(self.nvram.used_bytes)
+                ctx.record_span("put.nvram_pin", start_us=pin_start, parent=put_span)
+            if phase2_span is not None:
+                ctx.finish(phase2_span)
+            if put_span is not None:
+                # Detached at the ack — close() below cannot reach it.
+                ctx.finish(put_span)
+            if owns_ctx:
+                ctx.close()
 
     def delete(self, namespace_id: int, key: int) -> Any:
         """Remove a key (extension beyond Table I; used by the cache layer).
@@ -705,6 +810,7 @@ class KamlSsd:
         ``Put`` had completed just before the crash.
         """
         staged = list(self.nvram.live_payloads())
+        ctx = self.tracer.request("kaml.recover", batches=len(staged))
         for handle, items in staged:
             staged_events = []
             touched = set()
@@ -723,6 +829,8 @@ class KamlSsd:
                 self._install(item.namespace_id, item.key, location)
             self.nvram.release(handle)
             self.metrics.counter("kaml.ssd.recovered_batches").inc()
+            ctx.event("recover.batch_replayed", records=len(items or []))
+        ctx.close()
         yield self.env.timeout(0.0)
 
     # ------------------------------------------------------------------

@@ -25,14 +25,37 @@ from repro.obs.export import (
     to_text,
     write_json,
 )
+from repro.obs.trace import (
+    NULL_CONTEXT,
+    FlightRecorder,
+    NullContext,
+    NullTracer,
+    SpanEvent,
+    TraceContext,
+    Tracer,
+    chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.slo import SloBreach, SloPolicy, SloTracker
 
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "NULL_CONTEXT",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NullContext",
+    "NullTracer",
+    "SloBreach",
+    "SloPolicy",
+    "SloTracker",
+    "SpanEvent",
     "SpanRecord",
+    "TraceContext",
+    "Tracer",
+    "chrome_trace",
     "derived_metrics",
     "labels_key",
     "percentile",
@@ -40,5 +63,6 @@ __all__ = [
     "to_builtin",
     "to_json",
     "to_text",
+    "write_chrome_trace",
     "write_json",
 ]

@@ -92,8 +92,7 @@ def to_text(registry: MetricsRegistry, title: str = "metrics") -> str:
             ])
     if scalar_rows:
         width = max(len(row[0]) for row in scalar_rows)
-        for name, value in scalar_rows:
-            lines.append(f"{name.ljust(width)}  {value}")
+        lines.extend(f"{name.ljust(width)}  {value}" for name, value in scalar_rows)
     histogram_rows: List[List[str]] = []
     for instrument in registry.instruments():
         if instrument.kind != "histogram":
@@ -117,14 +116,14 @@ def to_text(registry: MetricsRegistry, title: str = "metrics") -> str:
         lines.append("")
         lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
         lines.append("  ".join("-" * w for w in widths))
-        for row in histogram_rows:
-            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        lines.extend(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) for row in histogram_rows
+        )
     derived = derived_metrics(registry)
     if derived:
         lines.append("")
         width = max(len(name) for name in derived)
-        for name in sorted(derived):
-            lines.append(f"{name.ljust(width)}  {derived[name]:.4f}")
+        lines.extend(f"{name.ljust(width)}  {derived[name]:.4f}" for name in sorted(derived))
     return "\n".join(lines)
 
 

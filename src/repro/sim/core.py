@@ -139,6 +139,8 @@ class Environment:
         self.active_process = None  # set by Process while it runs
         #: Optional queue-depth gauge (see :meth:`attach_metrics`).
         self._queue_gauge = None
+        #: Tracer of the stack under test (see :meth:`attach_tracer`).
+        self.tracer = None
 
     def attach_metrics(self, registry) -> None:
         """Track the pending-event queue depth in ``registry``.
@@ -149,6 +151,16 @@ class Environment:
         """
         if self._queue_gauge is None:
             self._queue_gauge = registry.gauge("sim.queue_depth")
+
+    def attach_tracer(self, tracer) -> None:
+        """Publish the stack root's tracer on the environment.
+
+        Components that only hold an ``env`` (harness drivers, the obs
+        CLI dashboard) reach the flight recorder through ``env.tracer``.
+        First caller wins, mirroring :meth:`attach_metrics`.
+        """
+        if self.tracer is None:
+            self.tracer = tracer
 
     @property
     def now(self) -> float:

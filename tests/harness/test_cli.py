@@ -30,3 +30,27 @@ def test_runs_cheap_experiment(capsys):
 def test_registry_covers_every_figure():
     for figure in ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10"):
         assert figure in EXPERIMENTS
+
+
+def test_seed_flag_threads_into_seeded_experiments(capsys):
+    """--seed reaches workloads that accept one and changes their mix."""
+    assert main(["conflicts", "--seed", "9"]) == 0
+    seeded = capsys.readouterr().out
+    assert main(["conflicts", "--seed", "9"]) == 0
+    repeat = capsys.readouterr().out
+    assert main(["conflicts"]) == 0
+    default = capsys.readouterr().out
+
+    def table(text):
+        return [
+            line for line in text.splitlines() if "finished in" not in line
+        ]
+
+    assert table(seeded) == table(repeat)  # deterministic under a seed
+    assert table(seeded) != table(default)  # and the seed actually matters
+
+
+def test_seed_flag_ignored_by_unseeded_experiments(capsys):
+    """Experiments without a seed parameter still run under --seed."""
+    assert main(["flush-timer", "--seed", "5"]) == 0
+    assert "flush timer" in capsys.readouterr().out.lower()

@@ -1,0 +1,39 @@
+"""to_json must emit byte-identical output for equal results.
+
+The CI artifact and the perf-gate baseline are diffed across runs, so
+the serialisation itself must be deterministic: sorted keys at every
+nesting level, independent of dict insertion order.
+"""
+
+import json
+
+from repro.harness.reporting import to_json
+from repro.obs import MetricsRegistry
+
+
+def test_key_order_is_canonical():
+    a = to_json({"metrics": {"b": 2.0, "a": 1.0}, "title": "t"})
+    b = to_json({"title": "t", "metrics": {"a": 1.0, "b": 2.0}})
+    assert a == b
+    payload = json.loads(a)
+    assert list(payload) == sorted(payload)
+    assert list(payload["metrics"]) == ["a", "b"]
+
+
+def test_registry_export_is_deterministic():
+    def build(order):
+        registry = MetricsRegistry()
+        for name in order:
+            registry.counter(name).inc()
+        registry.observe("lat.us", 5.0, namespace=1)
+        return registry
+
+    a = to_json({"registry": build(["z.count", "a.count"])})
+    b = to_json({"registry": build(["a.count", "z.count"])})
+    assert a == b
+
+
+def test_written_file_matches_returned_text(tmp_path):
+    path = tmp_path / "result.json"
+    text = to_json({"metrics": {"x": 1.0}}, path=str(path))
+    assert path.read_text() == text + "\n"
