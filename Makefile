@@ -3,14 +3,26 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint format bench-smoke perf-gate rebaseline obs-demo
+.PHONY: test test-sanitized lint kamllint lint-deep format bench-smoke perf-gate rebaseline obs-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
 
+# Tier-1 suite with the runtime invariant sanitizers armed (SAN-* checks).
+test-sanitized:
+	KAML_SANITIZE=1 $(PYTHON) -m pytest -x -q
+
 lint:
 	ruff check .
 	ruff format --check src/repro/obs tests/obs
+
+# Static protocol/determinism analysis; see docs/static-analysis.md.
+kamllint:
+	$(PYTHON) -m repro.analysis_tools src/repro
+
+# Everything the CI lint-deep job runs (mypy is advisory there too).
+lint-deep: kamllint
+	-mypy src/repro
 
 format:
 	ruff format src/repro/obs tests/obs

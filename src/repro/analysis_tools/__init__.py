@@ -1,0 +1,36 @@
+"""``kamllint``: protocol/determinism static analysis for the KAML stack.
+
+An AST-based lint pass over ``src/repro`` enforcing the invariants the
+concurrency design relies on (see ``docs/static-analysis.md``):
+
+* ``KL-DET001`` — no wall-clock reads in sim/firmware code,
+* ``KL-DET002`` — no module-level ``random.*`` (seeded ``random.Random``
+  instances only),
+* ``KL-DET003`` — no iteration over set-typed values (hash-order leaks),
+* ``KL-CTX001`` — a ``TraceContext`` in scope must be threaded to every
+  callee that accepts one,
+* ``KL-LCK001`` — latch-style acquire/release pairing per function,
+* ``KL-LCK002`` — the static lock-order graph must be acyclic,
+* ``KL-SIM001`` — sim processes (generators) must not do host I/O,
+* ``KL-INV001`` — no ``assert`` guards (they vanish under ``python -O``).
+
+Run via ``python -m repro.analysis_tools src/repro`` (human output) or
+``--json`` for machines; suppress a finding in place with a
+``# kamllint: allow[RULE-ID] reason`` pragma.
+"""
+
+from repro.analysis_tools.core import (
+    LintModule,
+    Violation,
+    load_modules,
+    run_lint,
+)
+from repro.analysis_tools.locks import build_lock_graph
+
+__all__ = [
+    "LintModule",
+    "Violation",
+    "build_lock_graph",
+    "load_modules",
+    "run_lint",
+]

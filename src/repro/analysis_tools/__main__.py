@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.analysis_tools [paths...]``."""
+
+import sys
+
+from repro.analysis_tools.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

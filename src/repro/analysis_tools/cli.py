@@ -1,0 +1,113 @@
+"""The ``kamllint`` command line.
+
+Usage::
+
+    python -m repro.analysis_tools src/repro            # human output
+    python -m repro.analysis_tools --json src/repro     # machine output
+    python -m repro.analysis_tools --lock-graph src/repro
+    python -m repro.analysis_tools --list-rules
+
+Exit status: 0 when clean, 1 when violations were found, 2 on usage
+errors.  Pre-commit passes individual changed files as arguments; CI
+passes the whole tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis_tools.core import run_lint
+from repro.analysis_tools.locks import build_lock_graph, find_cycles
+
+#: rule id -> one-line description (kept in sync with docs/static-analysis.md)
+RULES = {
+    "KL-DET001": "no wall-clock reads outside harness.reporting.wallclock()",
+    "KL-DET002": "no module-level random.*; inject seeded random.Random",
+    "KL-DET003": "no iteration over set-typed values (hash-order leak)",
+    "KL-CTX001": "a held TraceContext must be passed to ctx-accepting callees",
+    "KL-LCK001": "latch-style locks release in the acquiring function",
+    "KL-LCK002": "the static lock-order graph must be acyclic",
+    "KL-SIM001": "sim processes (generators) must not call host I/O",
+    "KL-INV001": "no assert guards; raise repro.errors.InvariantError",
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis_tools",
+        description="kamllint: protocol/determinism static analysis for src/repro.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    parser.add_argument(
+        "--lock-graph",
+        action="store_true",
+        help="dump the static lock-order graph as JSON and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, description in sorted(RULES.items()):
+            print(f"{rule}  {description}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (try: src/repro)", file=sys.stderr)
+        return 2
+
+    rules = None
+    if args.rules:
+        rules = [rule.strip() for rule in args.rules.split(",") if rule.strip()]
+        unknown = [rule for rule in rules if rule not in RULES]
+        if unknown:
+            print(f"error: unknown rule ids: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    if args.lock_graph:
+        from repro.analysis_tools.core import load_modules
+
+        modules = load_modules(args.paths)
+        edges = build_lock_graph(modules)
+        payload = {
+            "edges": [
+                {
+                    "from": source,
+                    "to": target,
+                    "sites": [{"path": path, "line": line} for path, line in sites],
+                }
+                for (source, target), sites in sorted(edges.items())
+            ],
+            "cycles": find_cycles(edges),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if payload["cycles"] else 0
+
+    findings = run_lint(args.paths, rules=rules)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "violations": [violation.to_dict() for violation in findings],
+                    "count": len(findings),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for violation in findings:
+            print(violation.render())
+        summary = f"kamllint: {len(findings)} violation(s)"
+        print(summary if findings else "kamllint: clean")
+    return 1 if findings else 0

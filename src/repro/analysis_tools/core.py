@@ -1,0 +1,196 @@
+"""kamllint infrastructure: modules, violations, pragmas, rule registry."""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+#: ``# kamllint: allow[KL-DET001]`` or ``allow[KL-DET001,KL-SIM001] why``
+_PRAGMA = re.compile(r"#\s*kamllint:\s*(file-)?allow\[([A-Z0-9\-, ]+)\]")
+
+#: Subpackages of ``repro`` whose code runs under the simulated clock.
+#: Harness reporting is the only sanctioned wall-clock boundary, and the
+#: linter itself is exempt (it is host tooling, not sim code).
+TOOLING_SUBPACKAGES = {"analysis_tools"}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule id anchored to a file position."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class LintModule:
+    """A parsed source file plus its pragma allowlist."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    #: line number -> rule ids allowed on that line (and the next one,
+    #: so a pragma may sit on the line above a long statement)
+    line_allows: Dict[int, Set[str]] = field(default_factory=dict)
+    file_allows: Set[str] = field(default_factory=set)
+
+    @property
+    def subpackage(self) -> Optional[str]:
+        """The ``repro`` subpackage this file belongs to, if any."""
+        parts = self.path.parts
+        try:
+            anchor = len(parts) - 1 - parts[::-1].index("repro")
+        except ValueError:
+            return None
+        if anchor + 1 < len(parts) - 1:
+            return parts[anchor + 1]
+        return ""  # directly under repro/
+
+    def allowed(self, rule: str, line: int) -> bool:
+        if rule in self.file_allows:
+            return True
+        for pragma_line in (line, line - 1):
+            if rule in self.line_allows.get(pragma_line, ()):  # noqa: B007
+                return True
+        return False
+
+
+def _parse_pragmas(module: LintModule) -> None:
+    for lineno, text in enumerate(module.source.splitlines(), start=1):
+        match = _PRAGMA.search(text)
+        if match is None:
+            continue
+        rules = {rule.strip() for rule in match.group(2).split(",") if rule.strip()}
+        if match.group(1):  # file-allow
+            module.file_allows.update(rules)
+        else:
+            module.line_allows.setdefault(lineno, set()).update(rules)
+
+
+def load_modules(paths: Sequence[str]) -> List[LintModule]:
+    """Load every ``.py`` file under the given files/directories."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    modules = []
+    for file_path in files:
+        source = file_path.read_text()
+        tree = ast.parse(source, filename=str(file_path))
+        module = LintModule(path=file_path, source=source, tree=tree)
+        _parse_pragmas(module)
+        modules.append(module)
+    return modules
+
+
+#: A rule pass: takes every module at once (cross-module rules need the
+#: whole set) and returns raw findings; pragma filtering happens here.
+RulePass = Callable[[List[LintModule]], List[Violation]]
+
+_PASSES: List[RulePass] = []
+
+
+def register_pass(rule_pass: RulePass) -> RulePass:
+    _PASSES.append(rule_pass)
+    return rule_pass
+
+
+def run_lint(
+    paths: Sequence[str], rules: Optional[Iterable[str]] = None
+) -> List[Violation]:
+    """Run every registered pass; returns pragma-filtered findings."""
+    # Importing the rule modules registers their passes.
+    from repro.analysis_tools import ctxlint, determinism, locks, simproc  # noqa: F401
+
+    modules = load_modules(paths)
+    by_path = {str(module.path): module for module in modules}
+    wanted = set(rules) if rules is not None else None
+    findings: List[Violation] = []
+    for rule_pass in _PASSES:
+        for violation in rule_pass(modules):
+            if wanted is not None and violation.rule not in wanted:
+                continue
+            module = by_path.get(violation.path)
+            if module is not None and module.allowed(violation.rule, violation.line):
+                continue
+            findings.append(violation)
+    findings.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute/name chains; None for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def receiver_text(node: ast.AST) -> Optional[str]:
+    """The receiver of ``recv.method(...)``: dotted text of ``recv``.
+
+    Subscripts collapse to their base (``self.logs[i]`` -> ``self.logs``)
+    so lock/ctx sites stay stable across index expressions.
+    """
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    return dotted_name(node)
+
+
+def iter_functions(tree: ast.Module):
+    """Yield ``(class_name_or_None, FunctionDef)`` for every function."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield None, node
+        elif isinstance(node, ast.ClassDef):
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield node.name, child
+
+
+def walk_own(func: ast.AST):
+    """Walk a function's own body, not descending into nested defs."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def is_generator(func: ast.FunctionDef) -> bool:
+    """Does this function yield (ignoring nested defs/lambdas)?"""
+    return any(
+        isinstance(node, (ast.Yield, ast.YieldFrom)) for node in walk_own(func)
+    )

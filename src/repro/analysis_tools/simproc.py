@@ -1,0 +1,104 @@
+"""KL-SIM001 (no host I/O inside sim processes) and KL-INV001 (no
+``assert`` guards in production code).
+
+A sim process is a generator the kernel resumes between events; a
+blocking host call inside one stalls the *entire* simulated world and
+ties experiment timing to host state.  ``assert`` guards disappear under
+``python -O`` — invariants must raise :class:`repro.errors.InvariantError`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis_tools.core import (
+    LintModule,
+    TOOLING_SUBPACKAGES,
+    Violation,
+    dotted_name,
+    is_generator,
+    iter_functions,
+    register_pass,
+    walk_own,
+)
+
+#: The harness drives experiments and prints reports from sim processes
+#: on purpose (the obs CLI dashboard); it is exempt from KL-SIM001.
+_SIM001_EXEMPT = TOOLING_SUBPACKAGES | {"harness"}
+
+_BLOCKING_BARE = {"open", "input", "print", "breakpoint", "exec", "eval"}
+_BLOCKING_DOTTED = (
+    "time.sleep",
+    "os.system",
+    "os.popen",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "socket.socket",
+    "sys.stdout.write",
+    "sys.stderr.write",
+    "urllib.request.urlopen",
+    "requests.get",
+    "requests.post",
+)
+
+
+@register_pass
+def sim001_blocking_io(modules: List[LintModule]) -> List[Violation]:
+    """KL-SIM001: generator sim processes must not call host I/O."""
+    findings = []
+    for module in modules:
+        if module.subpackage in _SIM001_EXEMPT:
+            continue
+        for _class_name, func in iter_functions(module.tree):
+            if not is_generator(func):
+                continue
+            for node in walk_own(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = dotted_name(node.func)
+                if dotted is None:
+                    continue
+                blocking = (
+                    dotted in _BLOCKING_BARE
+                    or any(
+                        dotted == suffix or dotted.endswith("." + suffix)
+                        for suffix in _BLOCKING_DOTTED
+                    )
+                )
+                if blocking:
+                    findings.append(
+                        Violation(
+                            "KL-SIM001",
+                            str(module.path),
+                            node.lineno,
+                            node.col_offset,
+                            f"sim process `{func.name}` calls blocking "
+                            f"host I/O `{dotted}()`",
+                        )
+                    )
+    return findings
+
+
+@register_pass
+def inv001_no_assert(modules: List[LintModule]) -> List[Violation]:
+    """KL-INV001: guards must survive ``python -O``."""
+    findings = []
+    for module in modules:
+        if module.subpackage in TOOLING_SUBPACKAGES:
+            continue
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assert):
+                findings.append(
+                    Violation(
+                        "KL-INV001",
+                        str(module.path),
+                        node.lineno,
+                        node.col_offset,
+                        "bare `assert` is stripped by python -O; raise "
+                        "repro.errors.InvariantError instead",
+                    )
+                )
+    return findings

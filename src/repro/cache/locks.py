@@ -146,8 +146,12 @@ class LockManager:
         txn.held_locks.add(name)
 
     def release_all(self, txn: Any) -> None:
-        """Drop every lock the transaction holds (commit/abort, SS2PL)."""
-        for name in txn.held_locks:
+        """Drop every lock the transaction holds (commit/abort, SS2PL).
+
+        Release order follows a sorted key: ``held_locks`` is a set, and
+        grant order downstream must not depend on hash order.
+        """
+        for name in sorted(txn.held_locks, key=repr):
             lock = self._locks.get(name)
             if lock is None:
                 continue
@@ -232,7 +236,7 @@ class LockManager:
         ``txn_id``, returns the youngest (largest id) transaction in the
         cycle, else None.
         """
-        for blocker in blockers:
+        for blocker in sorted(blockers):
             cycle = self._path_to(blocker, txn_id, frozenset())
             if cycle is not None:
                 return max(cycle + [txn_id, blocker])
@@ -253,7 +257,7 @@ class LockManager:
             (w.mode for w in lock.queue if w.txn_id == start and not w.cancelled),
             LockMode.EXCLUSIVE,
         )
-        for blocker in self._blockers(lock, start, mode):
+        for blocker in sorted(self._blockers(lock, start, mode)):
             path = self._path_to(blocker, target, seen | {start})
             if path is not None:
                 return [start] + path

@@ -1,0 +1,27 @@
+"""Shared error types for invariant enforcement.
+
+Guards that protect protocol invariants must survive ``python -O``, so
+they are expressed as explicit ``raise InvariantError`` rather than
+``assert`` statements (kamllint rule KL-INV001 enforces this across
+``src/repro``).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for errors raised by the repro stack itself."""
+
+
+class InvariantError(ReproError):
+    """A protocol or accounting invariant was violated.
+
+    Raised by the runtime sanitizers (:mod:`repro.sanitize`) and by
+    guards that must not be stripped by ``python -O``.  Each message is
+    prefixed with a sanitizer rule id (``SAN-*``) so CI logs and the
+    static-analysis docs can cross-reference the check that fired.
+    """
+
+    def __init__(self, rule: str, message: str):
+        self.rule = rule
+        super().__init__(f"{rule}: {message}")

@@ -45,6 +45,14 @@ class FlashPage:
             raise ReadError("read of an erased page")
         return self._data, self._oob
 
+    def peek_oob(self) -> Any:
+        """OOB metadata without the timed read path, or None if erased.
+
+        Exists for the runtime sanitizers (:mod:`repro.sanitize`): checks
+        must inspect flash state without scheduling simulated I/O.
+        """
+        return self._oob
+
     def erase(self) -> None:
         self.state = PageState.ERASED
         self._data = None

@@ -17,9 +17,12 @@ from repro.sim import Environment, SimLock
 class LockTable:
     """Exclusive locks keyed by an arbitrary hashable."""
 
-    def __init__(self, env: Environment, name: str = "locktable"):
+    def __init__(self, env: Environment, name: str = "locktable", static_site: str = ""):
         self.env = env
         self.name = name
+        #: Site label for the runtime lock-order sanitizer; keys stay in
+        #: the instance name so per-key orders remain distinguishable.
+        self.static_site = static_site or f"LockTable.{name}"
         self._locks: Dict[Hashable, SimLock] = {}
 
     def __len__(self) -> int:
@@ -33,7 +36,11 @@ class LockTable:
         """Timed acquire; drive with ``yield from``."""
         lock = self._locks.get(key)
         if lock is None:
-            lock = SimLock(self.env, name=f"{self.name}[{key!r}]")
+            lock = SimLock(
+                self.env,
+                name=f"{self.name}[{key!r}]",
+                static_site=self.static_site,
+            )
             self._locks[key] = lock
         yield lock.acquire(owner)
 

@@ -134,7 +134,9 @@ class PageFtl:
         self.stats = FtlStats(self.metrics)
         self.gc_policy = WearAwarePolicy()
         self.gc_policy.metrics = self.metrics
-        self._page_locks = LockTable(env, name="ftl.lpn")
+        self._page_locks = LockTable(
+            env, name="ftl.lpn", static_site="PageFtl._page_locks"
+        )
         self._targets: List[_Target] = []
         for channel, chip in array.iter_targets():
             target = _Target(channel=channel, chip=chip, space_gate=Gate(env))

@@ -14,9 +14,9 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
-import time
 
 from repro.harness import ablations, experiments, format_table
+from repro.harness.reporting import wallclock
 
 EXPERIMENTS = {
     "fig5": (experiments.fig5_bandwidth, "Get/Put vs read/write bandwidth"),
@@ -79,7 +79,7 @@ def main(argv=None) -> int:
         kwargs = {}
         if args.seed is not None and "seed" in inspect.signature(func).parameters:
             kwargs["seed"] = args.seed
-        started = time.time()
+        started = wallclock()
         result = func(**kwargs)
         print(format_table(result["title"], result["headers"], result["rows"]))
         if args.metrics and result.get("registry") is not None:
@@ -87,7 +87,7 @@ def main(argv=None) -> int:
 
             print()
             print(format_registry(result["registry"], title=f"{name} metrics"))
-        print(f"[{name} finished in {time.time() - started:.1f}s wall]\n")
+        print(f"[{name} finished in {wallclock() - started:.1f}s wall]\n")
     return 0
 
 

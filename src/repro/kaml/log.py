@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import sanitize
 from repro.config import ReproConfig
 from repro.flash import FlashArray, PagePointer, WearOutError
 from repro.ftl.gc_policy import GcCandidate, WearAwarePolicy
@@ -122,7 +123,9 @@ class KamlLog:
             False: _WritePoint(self._new_assembly()),
             True: _WritePoint(self._new_assembly()),
         }
-        self._program_lock = SimLock(env, name=f"log{log_id}.program")
+        self._program_lock = SimLock(
+            env, name=f"log{log_id}.program", static_site="KamlLog._program_lock"
+        )
         self.space_gate = Gate(env, name=f"log{log_id}.space")
         self.gc_running = False
         #: Bumped by crash recovery; in-flight processes from before the
@@ -238,6 +241,10 @@ class KamlLog:
                 yield self.space_gate.wait()
                 yield self._program_lock.acquire(owner=("flush-retry", for_gc))
                 held = True
+            if sanitize.enabled():
+                # SAN-CHUNK: runs must be packed, in-bounds, and bitmap
+                # round-trippable before they become on-flash truth.
+                sanitize.check_page_assembly(assembly)
             data = {}
             start_cursor = 0
             for record in assembly.records:

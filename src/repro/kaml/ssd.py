@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
+from repro import sanitize
 from repro.config import ReproConfig
 from repro.flash import FlashArray
 from repro.kaml.log import KamlLog
@@ -753,6 +754,11 @@ class KamlSsd:
             self._adjust_valid(old, -1)
             self._adjust_valid(new, +1)
             moved = True
+        if moved and sanitize.enabled():
+            # SAN-OOB/SAN-VALID: the mapping tables, the destination
+            # page's OOB bitmap, and valid-byte accounting must agree
+            # after every relocation (the Figure 4 invariant).
+            sanitize.check_relocation(self, record, old, new)
         return moved
 
     def block_erased(self, block_key: Tuple[int, int, int]) -> None:
@@ -762,6 +768,8 @@ class KamlSsd:
         self._pins[block_key] = self._pins.get(block_key, 0) + 1
 
     def _unpin(self, block_key: Tuple[int, int, int]) -> None:
+        if sanitize.enabled():
+            sanitize.check_unpin(self._pins, block_key)
         remaining = self._pins.get(block_key, 0) - 1
         if remaining <= 0:
             self._pins.pop(block_key, None)
@@ -822,7 +830,7 @@ class KamlSsd:
                 record = Record(item.namespace_id, item.key, item.value, item.size)
                 staged_events.append((item, log._stage(record, for_gc=False)))
                 touched.add(log.log_id)
-            for log_id in touched:
+            for log_id in sorted(touched):
                 self.logs[log_id].force_flush()
             for item, event in staged_events:
                 location = yield event
@@ -850,6 +858,17 @@ class KamlSsd:
         yield self.env.timeout(
             self.config.flash.program_us * 4 + self.config.kaml.flush_timeout_us
         )
+
+    def close(self) -> None:
+        """End-of-life check point for a drained device.
+
+        With sanitizers armed (``KAML_SANITIZE=1``) this verifies that no
+        NVRAM reservation and no block read-pin outlived the workload —
+        the accounting leaks that silently eat capacity in long runs.
+        Call after :meth:`drain` has completed.
+        """
+        if sanitize.enabled():
+            sanitize.check_close(self)
 
     def utilization_report(self) -> Dict[str, Any]:
         """Operational snapshot of the device (monitoring/debug surface)."""

@@ -16,12 +16,17 @@ class SimLock:
     readable.  The holder is tracked for debugging.
     """
 
-    def __init__(self, env: Environment, name: str = ""):
+    def __init__(self, env: Environment, name: str = "", static_site: str = ""):
         self.env = env
         self.name = name
+        #: Which source-level lock site this instance belongs to, e.g.
+        #: ``"KamlLog._program_lock"`` — lets the runtime lock-order
+        #: sanitizer cross-check against kamllint's static graph.
+        self.static_site = static_site or name or "simlock"
         self._resource = Resource(env, capacity=1, name=name)
         self._held_request: Optional[Request] = None
         self.holder: Any = None
+        self._holder_process: Any = None
 
     @property
     def locked(self) -> bool:
@@ -33,11 +38,26 @@ class SimLock:
         return self._resource.queue_length
 
     def acquire(self, owner: Any = None) -> Event:
+        from repro import sanitize
+
+        recorder = None
+        acquirer = None
+        if sanitize.enabled():
+            # The acquiring process is the one running right now; record
+            # edges from every lock it already holds to this one.
+            recorder = sanitize.recorder_for(self.env)
+            acquirer = self.env.active_process
+            recorder.on_acquire(acquirer, self.name or "simlock", self.static_site)
         request = self._resource.request()
 
         def record(event: Event) -> None:
             self._held_request = event.value
             self.holder = owner
+            self._holder_process = acquirer
+            if recorder is not None:
+                recorder.on_granted(
+                    acquirer, self.name or "simlock", self.static_site
+                )
 
         request.add_callback(record)
         return request
@@ -47,6 +67,13 @@ class SimLock:
             raise SimulationError(f"lock {self.name!r} released while free")
         request, self._held_request = self._held_request, None
         self.holder = None
+        holder_process, self._holder_process = self._holder_process, None
+        from repro import sanitize
+
+        if sanitize.enabled():
+            sanitize.recorder_for(self.env).on_release(
+                holder_process, self.name or "simlock"
+            )
         self._resource.release(request)
 
 

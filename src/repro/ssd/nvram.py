@@ -79,6 +79,22 @@ class NvramBuffer:
         for handle in sorted(self._handles):
             yield handle, self._handles[handle][1]
 
+    def assert_drained(self) -> None:
+        """Raise :class:`~repro.errors.InvariantError` if anything is live.
+
+        A reservation that survives the workload means some ``Put`` path
+        dropped its release — NVRAM capacity leaks one batch at a time.
+        Explicit ``raise`` (not ``assert``): must survive ``python -O``.
+        """
+        if self._handles:
+            from repro.errors import InvariantError
+
+            raise InvariantError(
+                "SAN-NVRAM",
+                f"{len(self._handles)} live reservation(s) "
+                f"({self._used} B) at drain: handles {sorted(self._handles)}",
+            )
+
     def _grant(self, nbytes: int, payload: Any) -> int:
         handle = self._next_handle
         self._next_handle += 1

@@ -1,0 +1,6 @@
+"""Seeded violation: KL-INV001 (assert guard stripped by python -O)."""
+
+
+def install_mapping(table, key, location):
+    assert location.nchunks > 0  # KL-INV001: vanishes under -O
+    table[key] = location

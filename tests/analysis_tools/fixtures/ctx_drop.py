@@ -1,0 +1,17 @@
+"""Seeded violation: KL-CTX001 (held ctx not threaded to a callee)."""
+
+
+class KamlLog:
+    def append(self, record, ctx=None):
+        yield record
+
+
+class KamlSsd:
+    def __init__(self, log):
+        self.log = log
+
+    def put(self, record, ctx=None):
+        # KL-CTX001: `self.log.append` accepts ctx but is called without
+        # it — the append spans re-root into a fresh trace.
+        location = yield from self.log.append(record)
+        return location

@@ -1,0 +1,8 @@
+"""Seeded violation: KL-DET002 (module-level random, shared RNG state)."""
+
+import random
+
+
+def pick_victim(blocks):
+    random.seed(7)  # KL-DET002: reseeds the process-global generator
+    return random.choice(blocks)  # KL-DET002

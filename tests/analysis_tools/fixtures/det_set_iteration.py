@@ -1,0 +1,13 @@
+"""Seeded violation: KL-DET003 (iteration order leaks from a set)."""
+
+
+def flush_dirty(pages):
+    dirty = set()
+    for page in pages:
+        if page.dirty:
+            dirty.add(page)
+    flushed = []
+    for page in dirty:  # KL-DET003: hash-order iteration
+        flushed.append(page)
+    names = [p.name for p in {"a", "b", "c"}]  # KL-DET003: set literal
+    return flushed, names

@@ -1,0 +1,9 @@
+"""Seeded violation: KL-DET001 (wall-clock read in sim-adjacent code)."""
+
+import time
+
+
+def sample_latency(env):
+    started = time.time()  # KL-DET001: host clock, not sim time
+    yield env.timeout(1.0)
+    return time.time() - started  # KL-DET001

@@ -1,0 +1,19 @@
+"""Seeded violation: KL-LCK002 (lock-order cycle across two paths)."""
+
+
+class Mover:
+    def __init__(self, map_lock, gc_lock):
+        self._map_lock = map_lock
+        self._gc_lock = gc_lock
+
+    def migrate(self):
+        yield self._map_lock.acquire()
+        yield self._gc_lock.acquire()  # order: map -> gc
+        self._gc_lock.release()
+        self._map_lock.release()
+
+    def reclaim(self):
+        yield self._gc_lock.acquire()
+        yield self._map_lock.acquire()  # KL-LCK002: order gc -> map closes a cycle
+        self._map_lock.release()
+        self._gc_lock.release()

@@ -1,0 +1,11 @@
+"""Seeded violation: KL-LCK001 (acquire without a same-function release)."""
+
+
+class FlushWorker:
+    def __init__(self, lock):
+        self._program_lock = lock
+
+    def flush(self, page):
+        yield self._program_lock.acquire(owner="flush")
+        yield from page.program()
+        # KL-LCK001: every exit path leaks the latch — no release().

@@ -1,0 +1,10 @@
+"""Seeded violation: KL-SIM001 (host I/O inside a sim process)."""
+
+import time
+
+
+def checkpoint_process(env, state):
+    while True:
+        yield env.timeout(1000.0)
+        time.sleep(0.1)  # KL-SIM001 (and KL-DET001): stalls the sim world
+        print("checkpoint", state)  # KL-SIM001: host I/O from a process

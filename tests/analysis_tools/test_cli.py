@@ -1,0 +1,53 @@
+"""kamllint CLI: exit codes, JSON output, rule listing."""
+
+import json
+from pathlib import Path
+
+from repro.analysis_tools.cli import RULES, main
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = str(REPO / "src" / "repro")
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def test_clean_tree_exits_zero(capsys):
+    assert main([SRC]) == 0
+    assert "kamllint: clean" in capsys.readouterr().out
+
+
+def test_fixture_corpus_exits_one_with_rule_ids(capsys):
+    assert main([str(FIXTURES)]) == 1
+    out = capsys.readouterr().out
+    assert "KL-DET001" in out
+    assert "violation(s)" in out
+
+
+def test_json_output_parses(capsys):
+    assert main(["--json", str(FIXTURES / "bare_assert.py")]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == len(payload["violations"]) > 0
+    assert payload["violations"][0]["rule"] == "KL-INV001"
+
+
+def test_rules_filter_and_unknown_rule(capsys):
+    assert main(["--rules", "KL-INV001", str(FIXTURES / "det_wallclock.py")]) == 0
+    capsys.readouterr()
+    assert main(["--rules", "KL-BOGUS", str(FIXTURES)]) == 2
+
+
+def test_no_paths_is_usage_error():
+    assert main([]) == 2
+
+
+def test_list_rules_covers_every_rule(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULES:
+        assert rule in out
+
+
+def test_lock_graph_flags_fixture_cycle(capsys):
+    assert main(["--lock-graph", str(FIXTURES / "lock_cycle.py")]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["cycles"]
+    assert any(edge["from"] == "Mover._map_lock" for edge in payload["edges"])

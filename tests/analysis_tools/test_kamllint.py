@@ -1,0 +1,66 @@
+"""kamllint static passes: the real tree is clean, seeded fixtures are not."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis_tools import run_lint
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def rules_for(fixture_name):
+    violations = run_lint([FIXTURES / fixture_name])
+    return {v.rule for v in violations}
+
+
+def test_production_tree_is_clean():
+    assert run_lint([SRC]) == []
+
+
+@pytest.mark.parametrize(
+    ("fixture", "rule"),
+    [
+        ("det_wallclock.py", "KL-DET001"),
+        ("det_global_random.py", "KL-DET002"),
+        ("det_set_iteration.py", "KL-DET003"),
+        ("ctx_drop.py", "KL-CTX001"),
+        ("lock_unpaired.py", "KL-LCK001"),
+        ("lock_cycle.py", "KL-LCK002"),
+        ("sim_blocking.py", "KL-SIM001"),
+        ("bare_assert.py", "KL-INV001"),
+    ],
+)
+def test_seeded_fixture_triggers_rule(fixture, rule):
+    assert rule in rules_for(fixture)
+
+
+def test_allow_pragma_suppresses_findings():
+    assert run_lint([FIXTURES / "allow_pragma.py"]) == []
+
+
+def test_rules_filter_restricts_output():
+    violations = run_lint([FIXTURES / "sim_blocking.py"], rules={"KL-SIM001"})
+    assert violations and all(v.rule == "KL-SIM001" for v in violations)
+    assert run_lint([FIXTURES / "sim_blocking.py"], rules={"KL-LCK001"}) == []
+
+
+def test_violations_sorted_and_renderable():
+    violations = run_lint([FIXTURES])
+    keys = [(v.path, v.line, v.col, v.rule) for v in violations]
+    assert keys == sorted(keys)
+    for violation in violations:
+        rendered = violation.render()
+        assert violation.rule in rendered
+        assert f":{violation.line}:" in rendered
+        as_dict = violation.to_dict()
+        assert as_dict["rule"] == violation.rule
+        assert as_dict["line"] == violation.line
+
+
+def test_set_iteration_flags_both_literal_and_inferred_local():
+    violations = run_lint([FIXTURES / "det_set_iteration.py"])
+    lines = {v.line for v in violations if v.rule == "KL-DET003"}
+    assert len(lines) == 2

@@ -1,0 +1,29 @@
+"""Static lock-order graph: real tree acyclic, fixture cycle detected."""
+
+from pathlib import Path
+
+from repro.analysis_tools.core import load_modules
+from repro.analysis_tools.locks import build_lock_graph, find_cycles
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def test_production_lock_graph_is_acyclic():
+    edges = build_lock_graph(load_modules([SRC]))
+    assert find_cycles(edges) == []
+
+
+def test_fixture_cycle_is_detected():
+    edges = build_lock_graph(load_modules([FIXTURES / "lock_cycle.py"]))
+    cycles = find_cycles(edges)
+    assert len(cycles) == 1
+    assert set(cycles[0]) == {"Mover._map_lock", "Mover._gc_lock"}
+
+
+def test_edges_carry_source_sites():
+    edges = build_lock_graph(load_modules([FIXTURES / "lock_cycle.py"]))
+    sites = edges[("Mover._map_lock", "Mover._gc_lock")]
+    assert all(path.endswith("lock_cycle.py") for path, _line in sites)
+    assert all(line > 0 for _path, line in sites)
