@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-sanitized lint kamllint lint-deep format bench-smoke perf-gate rebaseline obs-demo
+.PHONY: test test-sanitized lint kamllint lint-deep format bench-smoke perf-gate rebaseline obs-demo crash-matrix
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -40,6 +40,11 @@ perf-gate:
 # re-runs the smoke bench, rewrites baseline.json, and you commit the result.
 rebaseline: bench-smoke
 	$(PYTHON) benchmarks/compare_baseline.py --rebaseline
+
+# Power-loss crash-consistency matrix: every crash point x 3 seeds, with
+# runtime sanitizers armed — the same sweep the CI crash-matrix job runs.
+crash-matrix:
+	KAML_SANITIZE=1 $(PYTHON) -m repro.harness crash --matrix --seeds 1,2,3
 
 obs-demo:
 	$(PYTHON) -m repro.harness obs --ops 200 --slo-put-us 100 \

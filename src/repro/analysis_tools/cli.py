@@ -32,6 +32,7 @@ RULES = {
     "KL-LCK002": "the static lock-order graph must be acyclic",
     "KL-SIM001": "sim processes (generators) must not call host I/O",
     "KL-INV001": "no assert guards; raise repro.errors.InvariantError",
+    "KL-FLT001": "fault-injection code must not read mapping-table state",
 }
 
 

@@ -121,7 +121,13 @@ def run_lint(
 ) -> List[Violation]:
     """Run every registered pass; returns pragma-filtered findings."""
     # Importing the rule modules registers their passes.
-    from repro.analysis_tools import ctxlint, determinism, locks, simproc  # noqa: F401
+    from repro.analysis_tools import (  # noqa: F401
+        ctxlint,
+        determinism,
+        faultrules,
+        locks,
+        simproc,
+    )
 
     modules = load_modules(paths)
     by_path = {str(module.path): module for module in modules}

@@ -13,6 +13,17 @@ class ReproError(Exception):
     """Base class for errors raised by the repro stack itself."""
 
 
+class PowerLossError(ReproError):
+    """The simulated SSD lost power mid-operation.
+
+    Raised by :class:`repro.fault.PowerLossInjector` at an armed crash
+    point, after volatile state has already been discarded via
+    :meth:`repro.kaml.ssd.KamlSsd.power_loss`.  It propagates out of the
+    raising sim process (and out of ``env.run`` when that process has no
+    waiters); harness code catches it and drives recovery.
+    """
+
+
 class InvariantError(ReproError):
     """A protocol or accounting invariant was violated.
 

@@ -1,0 +1,30 @@
+"""Fault injection and crash-consistency verification.
+
+Three layers, used together by the ``repro.harness crash`` CLI and the
+CI crash matrix (see ``docs/recovery.md``):
+
+* :mod:`repro.fault.plan` — named crash points and the power-loss
+  injector that kills the device at one of them.
+* :mod:`repro.fault.flashfault` — seeded transient program/erase
+  failures the logs must retry around.
+* :mod:`repro.fault.shadow` / :mod:`repro.fault.harness` — the
+  host-side shadow model and the workload/crash/recover/verify driver.
+"""
+
+from repro.fault.flashfault import FlashFaultInjector
+from repro.fault.harness import default_config, pick_hit, run_matrix, run_scenario
+from repro.fault.plan import CRASH_POINTS, FaultPlan, PowerLossInjector
+from repro.fault.shadow import ShadowModel, ShadowOp
+
+__all__ = [
+    "CRASH_POINTS",
+    "FaultPlan",
+    "FlashFaultInjector",
+    "PowerLossInjector",
+    "ShadowModel",
+    "ShadowOp",
+    "default_config",
+    "pick_hit",
+    "run_matrix",
+    "run_scenario",
+]

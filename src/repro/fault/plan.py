@@ -1,0 +1,119 @@
+"""Power-loss plans and the injector that executes them.
+
+A :class:`FaultPlan` names *where* the simulated SSD loses power — a
+crash point the data path announces (``put.before_nvram_pin``, ``log.
+mid_flush``, ...) plus which occurrence of it, or an absolute simulated
+time.  The :class:`PowerLossInjector` attached to a
+:class:`~repro.kaml.ssd.KamlSsd` counts every announcement, and when the
+armed occurrence arrives it cuts power: volatile state is discarded via
+:meth:`~repro.kaml.ssd.KamlSsd.power_loss` (NVRAM contents and completed
+flash programs survive), then :class:`~repro.errors.PowerLossError`
+propagates out of the raising sim process so the harness can stop the
+workload and drive recovery.
+
+Crash-point announcements are free when no injector is attached, and an
+unarmed injector (``plan.point is None``) only counts — the counting
+pass of the crash matrix uses that to learn how many occurrences a
+workload produces without perturbing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.errors import InvariantError, PowerLossError
+
+#: Every crash point the data path announces, in data-path order.  The
+#: crash matrix sweeps all of them; keep this tuple in sync with the
+#: ``_crash_point`` call sites in :mod:`repro.kaml.ssd` and
+#: :mod:`repro.kaml.log`.
+CRASH_POINTS = (
+    # Put phase 1: the host transfer landed but the batch is not yet
+    # pinned in NVRAM — the command must vanish without a trace.
+    "put.before_nvram_pin",
+    # Put phase 1: pinned but not yet versioned/acknowledged — the batch
+    # must replay atomically or not at all.
+    "put.after_nvram_pin",
+    # Between the phase-2 flash programs and the phase-3 mapping-table
+    # install — flash holds the records, NVRAM still owns the batch.
+    "put.before_install",
+    # GC copied a record to its new page but has not swapped the mapping.
+    "gc.mid_relocation",
+    # A full page assembly is about to program — the page may be torn.
+    "log.mid_flush",
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Where (or when) to cut power.
+
+    ``point`` is a :data:`CRASH_POINTS` name and ``hit`` selects its
+    Nth announcement (1-based).  ``at_time`` instead cuts at an absolute
+    simulated time, independent of crash points — the property tests use
+    it to crash at seeded random instants.  ``point=None`` with no
+    ``at_time`` is a counting-only plan that never fires.
+    """
+
+    point: Optional[str] = None
+    hit: int = 1
+    at_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.point is not None and self.point not in CRASH_POINTS:
+            raise ValueError(
+                f"unknown crash point {self.point!r}; choose from {CRASH_POINTS}"
+            )
+        if self.hit < 1:
+            raise ValueError(f"hit is 1-based; got {self.hit}")
+
+
+class PowerLossInjector:
+    """Counts crash-point announcements and cuts power per a plan."""
+
+    def __init__(self, ssd: Any, plan: FaultPlan):
+        self.ssd = ssd
+        self.plan = plan
+        #: Announcements seen so far, per crash point (counting always
+        #: happens, armed or not, so both matrix passes see it).
+        self.hits: Dict[str, int] = {}
+        #: Set once when the cut fires: ``{"point", "hit", "time_us"}``.
+        self.fired: Optional[Dict[str, Any]] = None
+
+    def attach(self) -> "PowerLossInjector":
+        """Register with the SSD; crash points start reporting here."""
+        if self.ssd.fault is not None and self.ssd.fault is not self:
+            raise InvariantError(
+                "SAN-FAULT", "SSD already has a fault injector attached"
+            )
+        self.ssd.fault = self
+        if self.plan.at_time is not None:
+            self.ssd.env.process(self._timer())
+        return self
+
+    def detach(self) -> None:
+        if self.ssd.fault is self:
+            self.ssd.fault = None
+
+    def reached(self, name: str) -> None:
+        """A data-path crash point announced itself."""
+        count = self.hits.get(name, 0) + 1
+        self.hits[name] = count
+        if self.fired is not None:
+            return  # power is already off; the caller is a ghost
+        if self.plan.point == name and count == self.plan.hit:
+            self._cut(name, count)
+
+    def _timer(self) -> Any:
+        yield self.ssd.env.timeout(self.plan.at_time)
+        if self.fired is None:
+            self._cut("timer", 0)
+
+    def _cut(self, point: str, hit: int) -> None:
+        """Cut power now: discard volatile state, then raise."""
+        self.fired = {"point": point, "hit": hit, "time_us": self.ssd.env.now}
+        self.ssd.power_loss()
+        raise PowerLossError(
+            f"power lost at {point} (hit {hit}, t={self.ssd.env.now:.1f}us)"
+        )

@@ -1,0 +1,179 @@
+"""Host-side shadow model for crash-consistency verification.
+
+The harness records every command it issues against the device: an op
+becomes *in flight* when issued and *acknowledged* when the device's
+phase-1 commit returns.  After a power loss and recovery, the recovered
+device must agree with the shadow:
+
+* Every **acknowledged** write is durable — the key reads back with the
+  last acknowledged value, unless a strictly newer in-flight op could
+  legitimately have superseded it.
+* An **in-flight** (never-acknowledged) op may have landed completely or
+  not at all — both are correct — but a *multi-record* batch must be
+  atomic: all of its records visible or none (a mix is a torn batch).
+* A key whose last acknowledged op was a delete must stay absent — a
+  readable value there means recovery resurrected a dead record.
+
+To make atomicity observable, the workload writes every record of a
+multi-record batch into one exclusive *key group* with the batch's op id
+embedded in each value, so a torn batch shows up as mixed op ids (or a
+partial absence) within a group.  Values are ``("crash", op_id, key)``
+tuples; the shadow maps any read-back value to the op that wrote it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class ShadowOp:
+    """One issued command: a put batch or a single-key delete."""
+
+    __slots__ = ("op_id", "kind", "keys", "acked")
+
+    def __init__(self, op_id: int, kind: str, keys: List[int]):
+        self.op_id = op_id
+        self.kind = kind  # "put" | "delete"
+        self.keys = list(keys)
+        self.acked = False
+
+
+class ShadowModel:
+    """Issue/ack ledger plus the post-recovery consistency check.
+
+    Assumes each key is written by one serial issuer (the harness
+    partitions keys across workers), so per key at most one op is in
+    flight and ack order equals issue order.
+    """
+
+    def __init__(self) -> None:
+        self._next_op_id = 1
+        self.ops: Dict[int, ShadowOp] = {}
+        #: key -> op_id of the last acknowledged op touching it.
+        self._last_acked: Dict[int, int] = {}
+        #: key -> op_id of the op issued but not (yet) acknowledged.
+        self._in_flight: Dict[int, int] = {}
+        #: key groups registered for batch-atomicity checking.
+        self.groups: List[List[int]] = []
+
+    # -- recording ------------------------------------------------------
+
+    def value_for(self, op_id: int, key: int) -> Tuple[str, int, int]:
+        """The marker value op ``op_id`` writes into ``key``."""
+        return ("crash", op_id, key)
+
+    def begin(self, kind: str, keys: List[int]) -> int:
+        """Record an op at issue time; returns its op id."""
+        op_id = self._next_op_id
+        self._next_op_id += 1
+        op = ShadowOp(op_id, kind, keys)
+        self.ops[op_id] = op
+        for key in keys:
+            self._in_flight[key] = op_id
+        return op_id
+
+    def ack(self, op_id: int) -> None:
+        """The device acknowledged (logically committed) the op."""
+        op = self.ops[op_id]
+        op.acked = True
+        for key in op.keys:
+            if self._in_flight.get(key) == op_id:
+                del self._in_flight[key]
+            self._last_acked[key] = op_id
+
+    def register_group(self, keys: List[int]) -> None:
+        """Declare an exclusive key group (atomicity unit)."""
+        self.groups.append(list(keys))
+
+    # -- interrogation --------------------------------------------------
+
+    @property
+    def touched_keys(self) -> List[int]:
+        keys = set(self._last_acked) | set(self._in_flight)
+        return sorted(keys)
+
+    @property
+    def acked_ops(self) -> int:
+        return sum(1 for op in self.ops.values() if op.acked)
+
+    @property
+    def in_flight_ops(self) -> int:
+        return len({op_id for op_id in self._in_flight.values()})
+
+    # -- verification ---------------------------------------------------
+
+    def verify(self, observed: Dict[int, Any]) -> List[str]:
+        """Check recovered reads against the ledger; returns divergences.
+
+        ``observed`` maps every touched key to the recovered device's
+        ``Get`` result (None for absent).  An empty return means the
+        device is crash-consistent with everything the host saw.
+        """
+        failures: List[str] = []
+        for key in self.touched_keys:
+            failures.extend(self._check_key(key, observed.get(key)))
+        for keys in self.groups:
+            failures.extend(self._check_group(keys, observed))
+        return failures
+
+    def _check_key(self, key: int, value: Any) -> List[str]:
+        acked = self.ops.get(self._last_acked.get(key, 0))
+        flight = self.ops.get(self._in_flight.get(key, 0))
+        allowed_ids = {
+            op.op_id
+            for op in (acked, flight)
+            if op is not None and op.kind == "put"
+        }
+        absence_ok = (
+            acked is None
+            or acked.kind == "delete"
+            or (flight is not None and flight.kind == "delete")
+        )
+        if value is None:
+            if not absence_ok:
+                return [
+                    f"key {key}: acked put op {acked.op_id} lost "
+                    f"(key absent after recovery)"
+                ]
+            return []
+        op_id = self._op_of(value, key)
+        if op_id is None:
+            return [f"key {key}: foreign value {value!r} after recovery"]
+        if op_id not in allowed_ids:
+            op = self.ops.get(op_id)
+            age = "unknown"
+            if op is not None:
+                age = "stale acked" if op.acked else "aborted in-flight"
+            return [
+                f"key {key}: reads op {op_id} ({age}); expected one of "
+                f"{sorted(allowed_ids) or ['absent']}"
+            ]
+        return []
+
+    def _check_group(self, keys: List[int], observed: Dict[int, Any]) -> List[str]:
+        ids = []
+        for key in keys:
+            value = observed.get(key)
+            ids.append(None if value is None else self._op_of(value, key))
+        distinct = {op_id for op_id in ids if op_id is not None}
+        if any(op_id is None for op_id in ids) and distinct:
+            return [
+                f"group {keys}: torn batch — partial visibility {ids}"
+            ]
+        if len(distinct) > 1:
+            return [
+                f"group {keys}: torn batch — mixed op ids {ids}"
+            ]
+        return []
+
+    def _op_of(self, value: Any, key: int) -> Optional[int]:
+        """The op id a marker value claims, if it is well-formed."""
+        if (
+            isinstance(value, tuple)
+            and len(value) == 3
+            and value[0] == "crash"
+            and value[2] == key
+            and value[1] in self.ops
+        ):
+            return value[1]
+        return None

@@ -15,6 +15,9 @@ from repro.flash.errors import (
     ProgramOrderError,
     ReadError,
     EraseError,
+    EraseFailure,
+    ProgramFailure,
+    TransientFlashError,
     WearOutError,
     AddressError,
 )
@@ -33,6 +36,9 @@ __all__ = [
     "ProgramOrderError",
     "ReadError",
     "EraseError",
+    "EraseFailure",
+    "ProgramFailure",
+    "TransientFlashError",
     "WearOutError",
     "AddressError",
     "FlashPage",

@@ -49,6 +49,11 @@ class FlashArray:
             for chip_index in range(self.geometry.chips_per_channel):
                 yield channel_index, chip_index
 
+    def power_loss(self) -> None:
+        """Abort every in-flight program/erase: the power is gone."""
+        for _channel, _chip_index, chip in self.iter_chips():
+            chip.power_loss()
+
     # -- timed operations ----------------------------------------------------
 
     def read_page(self, pointer: PagePointer, transfer_bytes: int = None) -> Any:

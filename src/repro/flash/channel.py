@@ -76,8 +76,14 @@ class FlashChannel:
         makes many logs per channel pay off (Figure 8).
         """
         chip = self.chip(chip_index)
+        # Capture the chip's power-loss generation when the command enters
+        # the pipeline: if power dies during the bus transfer, the program
+        # must not touch the cells afterwards.
+        generation = chip.generation
         yield from self.transfer(self.geometry.page_size)
-        yield from chip.program_cells(block_index, page_index, data, oob)
+        yield from chip.program_cells(
+            block_index, page_index, data, oob, generation=generation
+        )
 
     def erase_block(self, chip_index: int, block_index: int) -> Any:
         chip = self.chip(chip_index)

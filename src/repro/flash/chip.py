@@ -7,7 +7,7 @@ from typing import Any
 
 from repro.config import FlashGeometry, FlashTimings
 from repro.flash.block import FlashBlock
-from repro.flash.errors import AddressError
+from repro.flash.errors import AddressError, EraseFailure, ProgramFailure
 from repro.sim import Environment, Resource
 
 
@@ -42,6 +42,18 @@ class FlashChip:
         self.blocks = [FlashBlock(geometry) for _ in range(geometry.blocks_per_chip)]
         self.engine = Resource(env, capacity=1, name=f"{name}.engine")
         self.stats = ChipStats()
+        #: Optional transient-fault hook (``repro.fault``): called as
+        #: ``hook(op, block_index, page_index)`` and returns True when the
+        #: operation should fail.  None (the default) costs nothing.
+        self.fault_hook = None
+        #: Bumped by :meth:`power_loss`.  A program/erase that has not
+        #: mutated cells by the cut aborts instead of completing later —
+        #: on real hardware the charge pump simply dies with the power.
+        self.generation = 0
+
+    def power_loss(self) -> None:
+        """A power cut: operations still queued or mid-pulse never land."""
+        self.generation += 1
 
     def block(self, block_index: int) -> FlashBlock:
         if not 0 <= block_index < len(self.blocks):
@@ -64,17 +76,40 @@ class FlashChip:
         finally:
             self.engine.release(request)
 
-    def program_cells(self, block_index: int, page_index: int, data: Any, oob: Any) -> Any:
+    def program_cells(
+        self, block_index: int, page_index: int, data: Any, oob: Any,
+        generation: Any = None,
+    ) -> Any:
         """Page register -> cell array.  Holds the chip engine for t_PROG.
 
         The state mutation happens *before* the delay so that concurrent
         allocators observe the write pointer move immediately; the timing
-        cost is still paid in full.
+        cost is still paid in full.  ``generation`` is the power-loss
+        generation captured when the command entered the pipeline (the
+        channel passes it across the bus transfer); a stale generation
+        means power died first and the cells stay untouched.
         """
         block = self.block(block_index)
+        if generation is None:
+            generation = self.generation
         request = self.engine.request()
         yield request
         try:
+            if generation != self.generation:
+                return None  # power was cut while queued; nothing reached the cells
+            if self.fault_hook is not None and self.fault_hook("program", block_index, page_index):
+                # Failed verify: the page is consumed (the write pointer
+                # advances past it) but holds no records — an all-zero OOB
+                # bitmap decodes to nothing, so scans and GC skip it.
+                block.program(page_index, {}, oob=0)
+                started = self.env.now
+                yield self.env.timeout(self.timings.program_us)
+                self.stats.programs += 1
+                self.stats.busy_us += self.env.now - started
+                raise ProgramFailure(
+                    f"{self.name}: program verify failed at block "
+                    f"{block_index} page {page_index}"
+                )
             block.program(page_index, data, oob)
             started = self.env.now
             yield self.env.timeout(self.timings.program_us)
@@ -86,6 +121,7 @@ class FlashChip:
     def erase(self, block_index: int) -> Any:
         """Erase a whole block.  Holds the chip engine for t_BERS."""
         block = self.block(block_index)
+        generation = self.generation
         request = self.engine.request()
         yield request
         try:
@@ -93,6 +129,14 @@ class FlashChip:
             yield self.env.timeout(self.timings.erase_us)
             self.stats.erases += 1
             self.stats.busy_us += self.env.now - started
+            if generation != self.generation:
+                return None  # power was cut mid-pulse; the cells kept their charge
+            if self.fault_hook is not None and self.fault_hook("erase", block_index, None):
+                # The erase pulse failed: contents indeterminate, block
+                # state unchanged — the caller retries or retires it.
+                raise EraseFailure(
+                    f"{self.name}: erase failed at block {block_index}"
+                )
             block.erase()
         finally:
             self.engine.release(request)

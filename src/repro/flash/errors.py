@@ -27,3 +27,19 @@ class EraseError(FlashError):
 
 class WearOutError(FlashError):
     """A block exceeded its erase endurance and became unreliable."""
+
+
+class TransientFlashError(FlashError):
+    """A recoverable media fault: the operation failed but the chip lives.
+
+    Injected by :class:`repro.fault.FlashFaultInjector`; the log layer
+    retries with bounded attempts (remapping programs to a fresh page).
+    """
+
+
+class ProgramFailure(TransientFlashError):
+    """A page program failed verify; the page is burned (unusable)."""
+
+
+class EraseFailure(TransientFlashError):
+    """A block erase failed; the block contents are indeterminate."""

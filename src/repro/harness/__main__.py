@@ -7,6 +7,7 @@ Regenerate any figure of the paper from a shell::
     python -m repro.harness all           # the full evaluation
     python -m repro.harness --list
     python -m repro.harness obs --ops 200 --slo-put-us 150   # obs driver
+    python -m repro.harness crash --matrix                   # crash matrix
 """
 
 from __future__ import annotations
@@ -43,6 +44,10 @@ def main(argv=None) -> int:
         from repro.harness import obs_cli
 
         return obs_cli.main(argv[1:])
+    if argv and argv[0] == "crash":
+        from repro.harness import crash_cli
+
+        return crash_cli.main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -68,6 +73,7 @@ def main(argv=None) -> int:
         for name, (_func, description) in EXPERIMENTS.items():
             print(f"{name:10} {description}")
         print(f"{'obs':10} observability driver (tracing/SLO dashboard)")
+        print(f"{'crash':10} crash-consistency matrix (see 'crash --help')")
         return 0
 
     names = list(EXPERIMENTS) if "all" in args.figures else args.figures

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -99,6 +100,52 @@ def compare(
     return failures, report
 
 
+def markdown_summary(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: Optional[float] = None,
+) -> str:
+    """The comparison as a GitHub-flavoured markdown table.
+
+    Written to ``$GITHUB_STEP_SUMMARY`` by :func:`main` so the perf gate's
+    numbers show up on the workflow run page without digging into logs.
+    """
+    tol = tolerance if tolerance is not None else float(
+        baseline.get("tolerance", DEFAULT_TOLERANCE)
+    )
+    lines = [
+        f"### Perf gate: fig5 smoke bench (tolerance {tol:.0%})",
+        "",
+        "| metric | current | baseline | delta | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    groups = (
+        ("bandwidth MB/s", "bandwidth_mb_s", True),
+        ("p99 latency us", "latency_p99_us", False),
+    )
+    for kind, field, lower_is_regression in groups:
+        expected = baseline.get(field, {})
+        actual = current.get(field, {})
+        for key in sorted(expected):
+            base_value = float(expected[key])
+            if key not in actual:
+                lines.append(f"| {kind}: {key} | missing | {base_value:.3f} | — | FAIL |")
+                continue
+            value = float(actual[key])
+            if base_value == 0.0:
+                delta = 0.0 if value == 0.0 else float("inf")
+            else:
+                delta = (value - base_value) / base_value
+            regressed = delta < -tol if lower_is_regression else delta > tol
+            status = "FAIL" if regressed else "ok"
+            lines.append(
+                f"| {kind}: {key} | {value:.3f} | {base_value:.3f} "
+                f"| {delta:+.1%} | {status} |"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def _load_json(path: str) -> Dict[str, Any]:
     with open(path) as handle:
         return json.load(handle)
@@ -143,6 +190,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     baseline = _load_json(args.baseline)
     failures, report = compare(current, baseline, tolerance=args.tolerance)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write(markdown_summary(current, baseline, args.tolerance))
+            handle.write("\n")
     print(f"perf gate: {args.artifact} vs {args.baseline}")
     for line in report:
         print(line)

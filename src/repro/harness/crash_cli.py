@@ -1,0 +1,184 @@
+"""Crash-consistency driver: ``python -m repro.harness crash``.
+
+The CI front door for :mod:`repro.fault`.  Runs the crash matrix (every
+crash point x several seeds) or a single armed cell, prints a verdict
+table, and on divergence leaves two artifacts for the workflow to
+upload: a JSON divergence report (``--report``) and per-failing-cell
+flight-recorder JSONL dumps (``--flight-dir``) so the post-mortem does
+not start from a bare assertion message::
+
+    python -m repro.harness crash --matrix
+    python -m repro.harness crash --matrix --seeds 1,2,3 --report out.json
+    python -m repro.harness crash --point gc.mid_relocation --seeds 7
+    python -m repro.harness crash --list-points
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.fault import CRASH_POINTS, run_matrix
+
+
+def _parse_seeds(text: str) -> List[int]:
+    try:
+        seeds = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"--seeds wants comma-separated integers, got {text!r}")
+    if not seeds:
+        raise SystemExit("--seeds must name at least one seed")
+    return seeds
+
+
+def _cell_row(cell: Dict[str, Any]) -> str:
+    status = "ok" if cell["ok"] else "FAIL"
+    hit = cell.get("hit")
+    hit_text = "-" if hit is None else str(hit)
+    detail = "" if cell["ok"] else f'  {"; ".join(cell["failures"][:2])}'
+    return (
+        f"  [{status:>4}] seed {cell['seed']:>3}  "
+        f"{cell['point'] or '(counting)':24} hit {hit_text:>4}{detail}"
+    )
+
+
+def _report_payload(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The matrix result minus live objects (flight recorders)."""
+    cells = []
+    for cell in report["cells"]:
+        cells.append({k: v for k, v in cell.items() if k != "recorder"})
+    return {
+        "ok": report["ok"],
+        "seeds": report["seeds"],
+        "points": report["points"],
+        "cells": cells,
+    }
+
+
+def _write_flight_dumps(report: Dict[str, Any], flight_dir: str) -> List[str]:
+    os.makedirs(flight_dir, exist_ok=True)
+    written = []
+    for cell in report["cells"]:
+        if cell["ok"] or cell.get("recorder") is None:
+            continue
+        point = (cell["point"] or "counting").replace(".", "_")
+        path = os.path.join(flight_dir, f"flight-seed{cell['seed']}-{point}.jsonl")
+        cell["recorder"].write_jsonl(path)
+        written.append(path)
+    return written
+
+
+def _step_summary(report: Dict[str, Any]) -> str:
+    lines = [
+        "### Crash-consistency matrix",
+        "",
+        "| seed | crash point | hit | result |",
+        "|---:|---|---:|---|",
+    ]
+    for cell in report["cells"]:
+        hit = cell.get("hit")
+        lines.append(
+            f"| {cell['seed']} | {cell['point'] or '(counting)'} "
+            f"| {'-' if hit is None else hit} "
+            f"| {'ok' if cell['ok'] else 'FAIL: ' + cell['failures'][0]} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness crash",
+        description="Power-loss / recovery crash-consistency harness.",
+    )
+    parser.add_argument(
+        "--matrix", action="store_true",
+        help="sweep every crash point (or --point) across --seeds",
+    )
+    parser.add_argument(
+        "--point", action="append", choices=list(CRASH_POINTS), default=None,
+        help="restrict to one crash point (repeatable)",
+    )
+    parser.add_argument(
+        "--seeds", default="1,2,3",
+        help="comma-separated workload seeds (default: 1,2,3)",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=90,
+        help="operations per writer process (default: 90)",
+    )
+    parser.add_argument(
+        "--program-fail-rate", type=float, default=0.0,
+        help="transient program-failure probability per page (default: 0)",
+    )
+    parser.add_argument(
+        "--erase-fail-rate", type=float, default=0.0,
+        help="transient erase-failure probability per block (default: 0)",
+    )
+    parser.add_argument(
+        "--report", default=None,
+        help="write the full divergence report as JSON to this path",
+    )
+    parser.add_argument(
+        "--flight-dir", default=None,
+        help="dump flight-recorder JSONL for each failing cell here",
+    )
+    parser.add_argument(
+        "--list-points", action="store_true", help="list crash points and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_points:
+        for point in CRASH_POINTS:
+            print(point)
+        return 0
+    if not args.matrix and not args.point:
+        parser.error("pick a mode: --matrix, --point <name>, or --list-points")
+
+    seeds = _parse_seeds(args.seeds)
+    points = args.point if args.point else None
+    report = run_matrix(
+        seeds,
+        points=points,
+        ops_per_writer=args.ops,
+        program_fail_rate=args.program_fail_rate,
+        erase_fail_rate=args.erase_fail_rate,
+    )
+
+    print(f"crash matrix: seeds {seeds}, points {report['points']}")
+    for cell in report["cells"]:
+        print(_cell_row(cell))
+
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(_report_payload(report), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"divergence report -> {args.report}")
+    if args.flight_dir and not report["ok"]:
+        for path in _write_flight_dumps(report, args.flight_dir):
+            print(f"flight recorder -> {path}")
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write(_step_summary(report))
+            handle.write("\n")
+
+    failing = [cell for cell in report["cells"] if not cell["ok"]]
+    if failing:
+        print(
+            f"\nCRASH MATRIX FAILED ({len(failing)} diverging cell(s)); "
+            "reproduce one locally with e.g.\n"
+            f"  python -m repro.harness crash --point {failing[0]['point']} "
+            f"--seeds {failing[0]['seed']}",
+            file=sys.stderr,
+        )
+        return 1
+    print("\ncrash matrix passed: recovered state matched the shadow model")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ protocol staged through battery-backed NVRAM (Section IV).
 """
 
 from repro.kaml.record import (
+    TOMBSTONE,
     Record,
     RecordLocation,
     RecordTooLargeError,
@@ -19,9 +20,10 @@ from repro.kaml.log import KamlLog
 from repro.kaml.namespace import Namespace, NamespaceAttributes, NamespaceError
 from repro.kaml.mapping_policy import AllLogsPolicy, DedicatedLogsPolicy, ExplicitLogsPolicy
 from repro.kaml.snapshot import Snapshot, SnapshotError
-from repro.kaml.ssd import KamlSsd, KamlError, PutItem
+from repro.kaml.ssd import KamlSsd, KamlError, PutItem, StagedBatch
 
 __all__ = [
+    "TOMBSTONE",
     "Record",
     "RecordLocation",
     "RecordTooLargeError",
@@ -40,4 +42,5 @@ __all__ = [
     "KamlSsd",
     "KamlError",
     "PutItem",
+    "StagedBatch",
 ]

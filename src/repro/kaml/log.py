@@ -19,7 +19,14 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro import sanitize
 from repro.config import ReproConfig
-from repro.flash import FlashArray, PagePointer, WearOutError
+from repro.flash import (
+    EraseFailure,
+    FlashArray,
+    PagePointer,
+    ProgramFailure,
+    ReadError,
+    WearOutError,
+)
 from repro.ftl.gc_policy import GcCandidate, WearAwarePolicy
 from repro.kaml.record import PageAssembly, Record, RecordLocation, RecordTooLargeError
 from repro.obs import NULL_CONTEXT, NullTracer, TraceContext
@@ -84,6 +91,10 @@ class LogStats:
 
 class KamlLog:
     """One append log on one flash target."""
+
+    #: Bounded retries for transient media faults before giving up.
+    MAX_PROGRAM_RETRIES = 4
+    MAX_ERASE_RETRIES = 2
 
     def __init__(
         self,
@@ -223,24 +234,6 @@ class KamlLog:
         yield self._program_lock.acquire(owner=("flush", for_gc))
         held = True
         try:
-            while True:
-                if self.epoch != epoch:
-                    return  # ghost flush from before a crash
-                pointer = self._try_allocate(for_gc)
-                if pointer is not None:
-                    break
-                if not self.gc_running:
-                    error = LogSpaceError(
-                        f"log {self.log_id} is full and nothing is reclaimable"
-                    )
-                    for _start, _record, event in waiters:
-                        event.fail(error)
-                    return
-                self._program_lock.release()
-                held = False
-                yield self.space_gate.wait()
-                yield self._program_lock.acquire(owner=("flush-retry", for_gc))
-                held = True
             if sanitize.enabled():
                 # SAN-CHUNK: runs must be packed, in-bounds, and bitmap
                 # round-trippable before they become on-flash truth.
@@ -250,8 +243,63 @@ class KamlLog:
             for record in assembly.records:
                 data[start_cursor] = record
                 start_cursor += record.chunks(self.geometry.chunk_size)
-            program_start = self.env.now
-            yield from self.array.program_page(pointer, data, oob=assembly.bitmap())
+            attempts = 0
+            while True:
+                if self.epoch != epoch:
+                    return  # ghost flush from before a crash
+                pointer = self._try_allocate(for_gc)
+                if pointer is None:
+                    if not self.gc_running:
+                        error = LogSpaceError(
+                            f"log {self.log_id} is full and nothing is reclaimable"
+                        )
+                        for _start, _record, event in waiters:
+                            event.fail(error)
+                        return
+                    self._program_lock.release()
+                    held = False
+                    yield self.space_gate.wait()
+                    yield self._program_lock.acquire(owner=("flush-retry", for_gc))
+                    held = True
+                    continue
+                self._crash_point("log.mid_flush")
+                program_start = self.env.now
+                try:
+                    yield from self.array.program_page(
+                        pointer, data, oob=assembly.bitmap()
+                    )
+                except ProgramFailure:
+                    # Transient media fault: the attempted page is burned
+                    # (its write pointer advanced past garbage); remap the
+                    # whole assembly to the next allocatable page.
+                    attempts += 1
+                    self.metrics.counter(
+                        "kaml.log.program_failures", log=self.log_id
+                    ).inc()
+                    fail_ctx = self.tracer.request(
+                        "kaml.flash_fault",
+                        kind="program",
+                        log=self.log_id,
+                        block=pointer.block,
+                        page=pointer.page,
+                        attempt=attempts,
+                    )
+                    fail_ctx.close()
+                    if self.epoch != epoch:
+                        return
+                    if attempts >= self.MAX_PROGRAM_RETRIES:
+                        error = LogSpaceError(
+                            f"log {self.log_id} page program failed "
+                            f"{attempts} times; giving up"
+                        )
+                        for _start, _record, event in waiters:
+                            event.fail(error)
+                        return
+                    self.metrics.counter(
+                        "kaml.log.program_retries", log=self.log_id
+                    ).inc()
+                    continue
+                break
             self.metrics.counter("kaml.log.programmed_pages", log=self.log_id).inc()
             self.metrics.counter(
                 "kaml.log.programmed_bytes", log=self.log_id
@@ -376,15 +424,42 @@ class KamlLog:
                 erase_span = ctx.begin(
                     "gc.erase", parent=gc_span, log=self.log_id, block=block_index
                 )
-                try:
-                    yield from self.array.erase_block(
-                        PagePointer(self.channel, self.chip, block_index, 0)
-                    )
-                except WearOutError:
-                    # The block exceeded its endurance: retire it.  Its
-                    # survivors were already relocated; capacity shrinks
-                    # by one block and the log carries on (Section II-A's
-                    # "limited number of erase operations").
+                retired = False
+                erase_attempts = 0
+                while True:
+                    try:
+                        yield from self.array.erase_block(
+                            PagePointer(self.channel, self.chip, block_index, 0)
+                        )
+                        break
+                    except EraseFailure:
+                        # Transient fault: retry the erase pulse a bounded
+                        # number of times, then retire the block.
+                        erase_attempts += 1
+                        self.metrics.counter(
+                            "kaml.log.erase_failures", log=self.log_id
+                        ).inc()
+                        fail_ctx = self.tracer.request(
+                            "kaml.flash_fault",
+                            kind="erase",
+                            log=self.log_id,
+                            block=block_index,
+                            attempt=erase_attempts,
+                        )
+                        fail_ctx.close()
+                        if self.epoch != epoch:
+                            return
+                        if erase_attempts > self.MAX_ERASE_RETRIES:
+                            retired = True
+                            break
+                    except WearOutError:
+                        # The block exceeded its endurance: retire it.  Its
+                        # survivors were already relocated; capacity shrinks
+                        # by one block and the log carries on (Section
+                        # II-A's "limited number of erase operations").
+                        retired = True
+                        break
+                if retired:
                     self.metrics.counter(
                         "kaml.log.retired_blocks", log=self.log_id
                     ).inc()
@@ -431,12 +506,20 @@ class KamlLog:
             log=self.log_id,
         )
         clean_start = self.env.now
+        epoch = self.epoch
         chip = self._chip()
         block = chip.block(block_index)
         survivors: List[Tuple[Record, RecordLocation]] = []
         for page_index in range(block.programmed_pages):
             pointer = PagePointer(self.channel, self.chip, block_index, page_index)
-            data, bitmap = yield from self.array.read_page(pointer)
+            try:
+                data, bitmap = yield from self.array.read_page(pointer)
+            except ReadError:
+                if self.epoch != epoch:
+                    return  # ghost pass: the block was reclaimed post-crash
+                raise
+            if self.epoch != epoch:
+                return
             for start, record in data.items():
                 location = RecordLocation(
                     page=pointer,
@@ -455,6 +538,9 @@ class KamlLog:
         moved_bytes = 0
         for event, record, old_location in staged:
             new_location = yield event
+            self._crash_point("gc.mid_relocation")
+            if self.epoch != epoch:
+                return  # ghost pass: never CAS into recovered mapping state
             if self.hooks.relocate(record, old_location, new_location):
                 self.metrics.counter(
                     "kaml.log.gc.relocated_records", log=self.log_id
@@ -488,6 +574,12 @@ class KamlLog:
         self._launch_flush(for_gc=False)
         self._launch_flush(for_gc=True)
 
+    def _crash_point(self, name: str) -> None:
+        """Announce a named crash point to the SSD's fault injector."""
+        fault = getattr(self.hooks, "fault", None)
+        if fault is not None:
+            fault.reached(name)
+
     def reset_write_points(self) -> None:
         """Drop open-page state after a simulated crash; the records are
         still staged in NVRAM and will be replayed (Section IV-D)."""
@@ -497,3 +589,43 @@ class KamlLog:
             self._points[for_gc] = _WritePoint(
                 self._new_assembly(), generation=point.generation + 1
             )
+
+    def power_loss(self) -> None:
+        """Full power cut: block lists and write points lived in DRAM.
+
+        Everything is cleared; :meth:`adopt_blocks` reinstalls lists
+        reconstructed by the recovery flash scan.  The lock instance is
+        deliberately kept — ghost flushes from before the cut still
+        release it through their ``finally`` blocks.
+        """
+        self.reset_write_points()
+        self.gc_running = False
+        self.free = []
+        self.full = []
+        self._active = {False: None, True: None}
+        self._active_wp = {False: 0, True: 0}
+
+    def adopt_blocks(
+        self,
+        free: List[int],
+        full: List[int],
+        host_active: Optional[Tuple[int, int]] = None,
+        gc_active: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        """Install block lists reconstructed by the recovery scan.
+
+        ``host_active``/``gc_active`` are optional ``(block, write_pointer)``
+        pairs: partially-programmed blocks the streams resume appending
+        into.  Re-adopting those tails matters — sealing every partial
+        block as full after a crash can leave the log with zero
+        allocatable pages, wedging both replay and the GC that would
+        have reclaimed space.
+        """
+        self.free = list(free)
+        self.full = list(full)
+        self._active = {False: None, True: None}
+        self._active_wp = {False: 0, True: 0}
+        for for_gc, adopted in ((False, host_active), (True, gc_active)):
+            if adopted is not None:
+                self._active[for_gc] = adopted[0]
+                self._active_wp[for_gc] = adopted[1]

@@ -20,18 +20,37 @@ class RecordTooLargeError(Exception):
     """A record (with header) does not fit in one flash page."""
 
 
+class _Tombstone:
+    """Singleton marker value for on-flash delete records."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<TOMBSTONE>"
+
+
+#: On-flash value of a delete record.  Scan-based recovery treats a key
+#: whose newest record carries this value as absent; GC keeps the
+#: tombstone alive only while it is still the newest version of its key.
+TOMBSTONE = _Tombstone()
+
+
 class Record(NamedTuple):
     """A key-value pair as the firmware sees it.
 
     ``size`` is the declared value size in bytes; it drives all space and
     timing accounting.  ``value`` is carried for functional correctness and
-    may be any Python object.
+    may be any Python object.  ``seq`` is the commit version stamped into
+    the record header at phase 1: scan-based crash recovery ranks copies
+    of the same key by it (last-writer-wins), so it must survive GC
+    relocation unchanged.
     """
 
     namespace_id: int
     key: int
     value: Any
     size: int
+    seq: int = 0
 
     def chunks(self, chunk_size: int) -> int:
         return chunks_for(self.size, chunk_size)

@@ -33,10 +33,18 @@ from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
 from repro import sanitize
 from repro.config import ReproConfig
-from repro.flash import FlashArray
+from repro.flash import FlashArray, PagePointer
 from repro.kaml.log import KamlLog
 from repro.kaml.namespace import Namespace, NamespaceAttributes, NamespaceError
-from repro.kaml.record import Record, RecordLocation, RecordTooLargeError, chunks_for
+from repro.kaml.record import (
+    RECORD_HEADER_BYTES,
+    TOMBSTONE,
+    Record,
+    RecordLocation,
+    RecordTooLargeError,
+    chunks_for,
+    decode_bitmap,
+)
 from repro.kaml.snapshot import Snapshot, SnapshotError, clone_index
 from repro.obs import NULL_CONTEXT, MetricsRegistry, SloTracker, TraceContext, Tracer
 from repro.sim import Environment, Gate, Process
@@ -58,6 +66,25 @@ class PutItem(NamedTuple):
 
 #: Sentinel for staged deletions in the NVRAM write cache.
 _DELETED = object()
+
+
+class StagedBatch:
+    """Durable NVRAM payload of one logically-committed command.
+
+    ``kind`` is ``"put"`` or ``"delete"``.  ``versions`` holds the commit
+    versions phase 1 assigned, stamped into the payload after the pin
+    (mutating this object models writing into the already-reserved NVRAM
+    region); it stays None when a crash caught the batch between the pin
+    and version assignment — such a batch was never acknowledged and
+    replays all-or-nothing with fresh versions.
+    """
+
+    __slots__ = ("kind", "items", "versions")
+
+    def __init__(self, kind: str, items: List[PutItem], versions: Optional[List[int]] = None):
+        self.kind = kind
+        self.items = list(items)
+        self.versions = list(versions) if versions is not None else None
 
 
 class KamlStats:
@@ -157,6 +184,17 @@ class KamlSsd:
         self._pin_gate = Gate(env, name="kaml.pins")
         self.snapshots: Dict[int, Snapshot] = {}
         self._next_snapshot_id = 1
+        #: On-flash delete markers: (namespace, key) -> (version, location)
+        #: of the newest tombstone.  A tombstone stays valid (GC keeps it)
+        #: while it is the newest version of its key, so a rescan after a
+        #: later power loss cannot resurrect the deleted value.
+        self._tombstones: Dict[Tuple[int, int], Tuple[int, RecordLocation]] = {}
+        #: Attached by :class:`repro.fault.PowerLossInjector`; the data
+        #: path announces named crash points through :meth:`_crash_point`.
+        self.fault: Optional[Any] = None
+        #: True between :meth:`power_loss` and the end of :meth:`recover`:
+        #: mapping tables must be rebuilt by scanning flash.
+        self._dram_lost = False
 
     # ------------------------------------------------------------------
     # Namespace management (Table I)
@@ -195,6 +233,9 @@ class KamlSsd:
                 self._adjust_valid(location, -1)
         for entry_key in [k for k in self._staged if k[0] == namespace_id]:
             del self._staged[entry_key]
+        for entry_key in [k for k in self._tombstones if k[0] == namespace_id]:
+            _version, location = self._tombstones.pop(entry_key)
+            self._adjust_valid(location, -1)
         if self.dram.holds(namespace.dram_tag):
             self.dram.free(namespace.dram_tag)
         for log_id in namespace.log_ids:
@@ -298,8 +339,12 @@ class KamlSsd:
                 get_span.tags["source"] = "absent"
                 return None
             get_span.tags["source"] = "flash"
-            block_key = (location.page.channel, location.page.chip, location.page.block)
-            self._pin(block_key)
+            location, block_key = yield from self._pin_location(
+                namespace.index, key, location
+            )
+            if location is None:
+                get_span.tags["source"] = "absent"
+                return None
             read_span = ctx.begin(
                 "get.flash_read", parent=get_span,
                 channel=block_key[0], chip=block_key[1], block=block_key[2],
@@ -387,7 +432,9 @@ class KamlSsd:
         yield from self.firmware.execute(scanned * self.costs.hash_probe_us)
         if location is None:
             return None
-        record = yield from self._read_record(location)
+        record = yield from self._read_record(location, snapshot.index, key)
+        if record is None:
+            return None
         yield from self.link.device_to_host(record.size)
         return record.value
 
@@ -397,10 +444,24 @@ class KamlSsd:
         except KeyError:
             raise SnapshotError(f"unknown snapshot id: {snapshot_id}") from None
 
-    def _read_record(self, location: RecordLocation) -> Any:
-        """Pin-protected flash read of one record."""
-        block_key = (location.page.channel, location.page.chip, location.page.block)
-        self._pin(block_key)
+    def _read_record(
+        self, location: RecordLocation, index=None, key: Optional[int] = None
+    ) -> Any:
+        """Pin-protected flash read of one record.
+
+        When ``index``/``key`` are given, the location is re-validated
+        under the pin (see :meth:`_pin_location`); returns None if the
+        key was deleted while probing.
+        """
+        if index is not None:
+            location, block_key = yield from self._pin_location(index, key, location)
+            if location is None:
+                return None
+        else:
+            block_key = (
+                location.page.channel, location.page.chip, location.page.block
+            )
+            self._pin(block_key)
         try:
             data, _oob = yield from self.array.read_page(
                 location.page,
@@ -454,8 +515,11 @@ class KamlSsd:
                 total_bytes += size
                 continue
             location = entry
-            block_key = (location.page.channel, location.page.chip, location.page.block)
-            self._pin(block_key)
+            location, block_key = yield from self._pin_location(
+                namespace.index, key, location
+            )
+            if location is None:
+                continue  # deleted while the scan was in flight
             try:
                 data, _oob = yield from self.array.read_page(
                     location.page,
@@ -520,7 +584,10 @@ class KamlSsd:
         reserve_span = ctx.begin(
             "put.nvram_reserve", parent=phase1_span, bytes=total_bytes
         )
-        handle = yield self.nvram.reserve(total_bytes, payload=list(items))
+        batch = StagedBatch("put", items)
+        self._crash_point("put.before_nvram_pin")
+        handle = yield self.nvram.reserve(total_bytes, payload=batch)
+        self._crash_point("put.after_nvram_pin")
         ctx.finish(reserve_span)
         self.metrics.observe("kaml.put.nvram_wait_us", self.env.now - nvram_wait_start)
         pin_start = self.env.now
@@ -569,6 +636,10 @@ class KamlSsd:
             self._staged[(item.namespace_id, item.key)] = (
                 self._version_counter, item.value, item.size,
             )
+        # Stamp the commit versions into the pinned payload (an NVRAM
+        # write): replay after a crash must reproduce exactly this commit
+        # order, not the order the batches reached NVRAM.
+        batch.versions = list(versions)
         # Logically committed: acknowledge the host, finish in background.
         ctx.finish(phase1_span)
         ctx.event("put.ack", parent=put_span, namespace=items[0].namespace_id)
@@ -611,10 +682,12 @@ class KamlSsd:
             ctx.detach(phase2_span)
         try:
             appends = []
-            for item in items:
+            for item, version in zip(items, versions):
                 namespace = self.namespaces[item.namespace_id]
                 log = self.logs[namespace.next_log_id()]
-                record = Record(item.namespace_id, item.key, item.value, item.size)
+                record = Record(
+                    item.namespace_id, item.key, item.value, item.size, seq=version
+                )
                 appends.append(
                     self.env.process(log.append(record, ctx=ctx, parent=phase2_span))
                 )
@@ -623,6 +696,8 @@ class KamlSsd:
             yield from self.firmware.execute(
                 len(items) * (self.costs.per_record_us + self.costs.hash_update_us)
             )
+            if self.epoch == epoch:
+                self._crash_point("put.before_install")
             if self.epoch == epoch:
                 for item, version, location in zip(items, versions, locations):
                     self._install_versioned(
@@ -670,11 +745,40 @@ class KamlSsd:
         # A newer version than any in-flight install: older installs for
         # this key become garbage on arrival instead of resurrecting it.
         self._version_counter += 1
-        self._installed_versions[(namespace_id, key)] = self._version_counter
+        version = self._version_counter
+        self._installed_versions[(namespace_id, key)] = version
         if location is not None:
             namespace.index.delete(key)
             self._adjust_valid(location, -1)
+        # Make the delete durable: pin the intent in NVRAM and append a
+        # tombstone record in the background.  Without the on-flash
+        # marker, a power loss would rescan the old record and resurrect
+        # the key (deletes must survive crashes like Puts do).
+        batch = StagedBatch(
+            "delete", [PutItem(namespace_id, key, TOMBSTONE, 0)], versions=[version]
+        )
+        handle = yield self.nvram.reserve(RECORD_HEADER_BYTES, payload=batch)
+        if self.epoch != epoch:
+            return False  # crashed mid-command; NVRAM replay owns the intent
+        self.env.process(self._complete_delete(namespace_id, key, version, handle, epoch))
         return existed
+
+    def _complete_delete(
+        self, namespace_id: int, key: int, version: int, handle: int, epoch: int
+    ) -> Any:
+        """Append the tombstone record and retire the NVRAM pin."""
+        try:
+            namespace = self.namespaces.get(namespace_id)
+            if namespace is None:
+                return  # namespace dropped; nothing left to shadow
+            log = self.logs[namespace.next_log_id()]
+            record = Record(namespace_id, key, TOMBSTONE, 0, seq=version)
+            location = yield from log.append(record)
+            if self.epoch == epoch:
+                self._install_tombstone(namespace_id, key, version, location)
+        finally:
+            if self.epoch == epoch:
+                self.nvram.release(handle)
 
     # ------------------------------------------------------------------
     # Mapping installs and valid-byte accounting
@@ -690,6 +794,11 @@ class KamlSsd:
         if old_location is not None:
             self._adjust_valid(old_location, -1)
         self._adjust_valid(location, +1)
+        # The new record outranks any tombstone for this key: the marker
+        # is no longer the newest version, so it becomes garbage.
+        tombstone = self._tombstones.pop((namespace_id, key), None)
+        if tombstone is not None:
+            self._adjust_valid(tombstone[1], -1)
 
     def _install_versioned(
         self, namespace_id: int, key: int, version: int, location: RecordLocation
@@ -706,6 +815,31 @@ class KamlSsd:
             return
         self._installed_versions[entry_key] = version
         self._install(namespace_id, key, location)
+        staged = self._staged.get(entry_key)
+        if staged is not None and staged[0] <= version:
+            del self._staged[entry_key]
+
+    def _install_tombstone(
+        self, namespace_id: int, key: int, version: int, location: RecordLocation
+    ) -> None:
+        """Register an on-flash delete marker unless a newer write won."""
+        namespace = self.namespaces.get(namespace_id)
+        if namespace is None:
+            return  # namespace deleted mid-flight; the marker is garbage
+        entry_key = (namespace_id, key)
+        if version < self._installed_versions.get(entry_key, 0):
+            return
+        self._installed_versions[entry_key] = version
+        if namespace.index is not None:
+            old_location, _ = namespace.index.lookup(key)
+            if old_location is not None:
+                namespace.index.delete(key)
+                self._adjust_valid(old_location, -1)
+        old_tombstone = self._tombstones.get(entry_key)
+        if old_tombstone is not None:
+            self._adjust_valid(old_tombstone[1], -1)
+        self._tombstones[entry_key] = (version, location)
+        self._adjust_valid(location, +1)
         staged = self._staged.get(entry_key)
         if staged is not None and staged[0] <= version:
             del self._staged[entry_key]
@@ -733,6 +867,9 @@ class KamlSsd:
                 yield snapshot.index
 
     def is_valid(self, record: Record, location: RecordLocation) -> bool:
+        if record.value is TOMBSTONE:
+            current = self._tombstones.get((record.namespace_id, record.key))
+            return current is not None and current[1] == location
         for index in self._indices_for(record.namespace_id):
             current, _ = index.lookup(record.key)
             if current == location:
@@ -745,6 +882,17 @@ class KamlSsd:
         Every referencing table (current index and snapshots) is repointed
         so the old copy really becomes garbage.
         """
+        if record.value is TOMBSTONE:
+            entry_key = (record.namespace_id, record.key)
+            current = self._tombstones.get(entry_key)
+            if current is None or current[1] != old:
+                return False
+            self._tombstones[entry_key] = (current[0], new)
+            self._adjust_valid(old, -1)
+            self._adjust_valid(new, +1)
+            if sanitize.enabled():
+                sanitize.check_relocation(self, record, old, new)
+            return True
         moved = False
         for index in self._indices_for(record.namespace_id):
             current, _ = index.lookup(record.key)
@@ -767,6 +915,33 @@ class KamlSsd:
     def _pin(self, block_key: Tuple[int, int, int]) -> None:
         self._pins[block_key] = self._pins.get(block_key, 0) + 1
 
+    def _pin_location(self, index, key: int, location: RecordLocation) -> Any:
+        """Pin the block holding ``key``'s record, chasing GC relocations.
+
+        The optimistic index probe yields (firmware time) between the
+        lookup and the flash read; GC can relocate the record and erase
+        the old block inside that window.  Pin first, then re-check the
+        mapping in the same sim instant: once the pin is visible, the
+        pre-erase barrier holds the erase off, so a confirmed location
+        stays readable.  Returns ``(location, block_key)`` with the pin
+        held, or ``(None, None)`` if the key vanished (deleted) while
+        probing.
+        """
+        while True:
+            block_key = (
+                location.page.channel, location.page.chip, location.page.block
+            )
+            self._pin(block_key)
+            current, scanned = index.lookup(key)
+            if current == location:
+                return location, block_key
+            self._unpin(block_key)
+            if current is None:
+                return None, None
+            self.metrics.counter("kaml.get.relocation_chases").inc()
+            location = current
+            yield from self.firmware.execute(scanned * self.costs.hash_probe_us)
+
     def _unpin(self, block_key: Tuple[int, int, int]) -> None:
         if sanitize.enabled():
             sanitize.check_unpin(self._pins, block_key)
@@ -788,6 +963,12 @@ class KamlSsd:
     # Crash and recovery (Section IV-D failure handling)
     # ------------------------------------------------------------------
 
+    def _crash_point(self, name: str) -> None:
+        """Announce a named crash point to an attached fault injector."""
+        fault = self.fault
+        if fault is not None:
+            fault.reached(name)
+
     def simulate_crash(self) -> None:
         """Power-cut at the current instant.
 
@@ -800,6 +981,7 @@ class KamlSsd:
         for log in self.logs:
             log.reset_write_points()
             log.gc_running = False
+        self.nvram.power_loss()  # queued (ungranted) reservations are volatile
         self._staged.clear()  # firmware-DRAM view; replay rebuilds installs
         self._pins.clear()
         # Re-sync soft write pointers with what actually reached flash.
@@ -811,35 +993,249 @@ class KamlSsd:
                         self.array.chip(log.channel, log.chip).block(block).write_pointer
                     )
 
-    def recover(self) -> Any:
-        """Replay every staged NVRAM batch (redo logging, Section IV-D).
+    def power_loss(self) -> None:
+        """Full power cut: every byte of controller DRAM is gone.
 
-        Batches replay oldest-first; the result is as if each staged
-        ``Put`` had completed just before the crash.
+        Harsher than :meth:`simulate_crash` (which models a firmware
+        reset with DRAM preserved): mapping tables, valid-byte and
+        version accounting, block lists, and snapshots all vanish.  Only
+        NVRAM reservations and flash pages whose program completed
+        survive; :meth:`recover` must rebuild everything else by
+        scanning flash.  Processes from before the cut become ghosts.
+        """
+        self.epoch += 1
+        self.array.power_loss()  # in-flight programs/erases never land
+        for log in self.logs:
+            log.power_loss()
+        self.nvram.power_loss()
+        self._staged.clear()
+        self._pins.clear()
+        self._installed_versions.clear()
+        self._valid_bytes.clear()
+        self._tombstones.clear()
+        self._version_counter = 0
+        for snapshot in self.snapshots.values():
+            if self.dram.holds(snapshot.dram_tag):
+                self.dram.free(snapshot.dram_tag)
+        self.snapshots.clear()
+        for namespace in self.namespaces.values():
+            if self.dram.holds(namespace.dram_tag):
+                self.dram.free(namespace.dram_tag)
+            namespace.index = None
+            namespace.resident = False
+        self._dram_lost = True
+        self.metrics.counter("kaml.ssd.power_losses").inc()
+
+    def recover(self) -> Any:
+        """Bring the device back to a consistent, serving state.
+
+        After :meth:`simulate_crash` this replays every staged NVRAM
+        batch (redo logging, Section IV-D).  After :meth:`power_loss` it
+        first rebuilds the per-namespace mapping tables by scanning
+        every programmed flash page through its OOB bitmap — flash is
+        self-describing (Figure 4) — ranking copies of a key by record
+        sequence (last-writer-wins), then replays NVRAM.  Batches replay
+        oldest-first with their phase-1 commit versions, so the result
+        is as if each acknowledged command had completed just before the
+        crash; never-acknowledged batches apply atomically or not at all.
         """
         staged = list(self.nvram.live_payloads())
-        ctx = self.tracer.request("kaml.recover", batches=len(staged))
-        for handle, items in staged:
-            staged_events = []
-            touched = set()
-            for item in items or []:
-                namespace = self.namespaces.get(item.namespace_id)
-                if namespace is None or namespace.index is None:
-                    continue
-                log = self.logs[namespace.next_log_id()]
-                record = Record(item.namespace_id, item.key, item.value, item.size)
-                staged_events.append((item, log._stage(record, for_gc=False)))
-                touched.add(log.log_id)
-            for log_id in sorted(touched):
-                self.logs[log_id].force_flush()
-            for item, event in staged_events:
-                location = yield event
-                self._install(item.namespace_id, item.key, location)
+        scan_mode = self._dram_lost
+        ctx = self.tracer.request("kaml.recover", batches=len(staged), scan=scan_mode)
+        if scan_mode:
+            yield from self._rebuild_from_flash(ctx)
+        for handle, payload in staged:
+            if isinstance(payload, StagedBatch):
+                batch = payload
+            else:  # legacy plain-list payload
+                batch = StagedBatch("put", list(payload or []))
+            replayed = yield from self._replay_batch(batch)
             self.nvram.release(handle)
             self.metrics.counter("kaml.ssd.recovered_batches").inc()
-            ctx.event("recover.batch_replayed", records=len(items or []))
+            ctx.event(
+                "recover.batch_replayed",
+                kind=batch.kind,
+                records=replayed,
+                versioned=batch.versions is not None,
+            )
+        self._dram_lost = False
+        if scan_mode and sanitize.enabled():
+            # SAN-OOB / SAN-VALID: the rebuilt mapping tables, the OOB
+            # bitmaps they reference, and valid-byte accounting must all
+            # agree before the device serves traffic again.
+            sanitize.check_recovery(self)
         ctx.close()
         yield self.env.timeout(0.0)
+
+    def _rebuild_from_flash(self, ctx: TraceContext = NULL_CONTEXT) -> Any:
+        """Reconstruct mapping tables and block lists by scanning flash.
+
+        Every programmed page of every log target is read; the OOB
+        bitmap yields each record's chunk run (no external directory
+        needed).  The newest copy of each key wins by record sequence,
+        with physical position as the tie-break for GC-duplicated copies
+        of the same version.  The version counter resumes above every
+        sequence seen — including stale copies — so new commits always
+        outrank pre-crash ones.
+        """
+        scan_start = self.env.now
+        winners: Dict[Tuple[int, int], Tuple[Tuple[int, Tuple[int, ...]], Record,
+                                             RecordLocation]] = {}
+        max_seq = 0
+        scanned_records = 0
+        scanned_pages = 0
+        for log in self.logs:
+            chip = self.array.chip(log.channel, log.chip)
+            free_blocks: List[int] = []
+            full_blocks: List[int] = []
+            #: (free_pages, block_index, write_pointer) of partial blocks.
+            partial_blocks: List[Tuple[int, int, int]] = []
+            for block_index in range(self.geometry.blocks_per_chip):
+                block = chip.block(block_index)
+                if block.is_bad:
+                    continue  # retired; never allocatable again
+                if block.programmed_pages == 0:
+                    free_blocks.append(block_index)
+                    continue
+                if block.programmed_pages < self.geometry.pages_per_block:
+                    partial_blocks.append(
+                        (
+                            self.geometry.pages_per_block - block.programmed_pages,
+                            block_index,
+                            block.programmed_pages,
+                        )
+                    )
+                else:
+                    full_blocks.append(block_index)
+                for page_index in range(block.programmed_pages):
+                    pointer = PagePointer(log.channel, log.chip, block_index, page_index)
+                    data, oob = yield from self.array.read_page(pointer)
+                    scanned_pages += 1
+                    for start, nchunks in decode_bitmap(
+                        oob or 0, self.geometry.chunks_per_page
+                    ):
+                        record = data.get(start) if data else None
+                        if record is None:
+                            continue
+                        scanned_records += 1
+                        max_seq = max(max_seq, record.seq)
+                        location = RecordLocation(pointer, start, nchunks)
+                        entry_key = (record.namespace_id, record.key)
+                        rank = (
+                            record.seq,
+                            (pointer.channel, pointer.chip, pointer.block,
+                             pointer.page, start),
+                        )
+                        previous = winners.get(entry_key)
+                        if previous is None or rank > previous[0]:
+                            winners[entry_key] = (rank, record, location)
+            # The two emptiest partial blocks become the resumed write
+            # points; the rest are sealed for GC.  Discarding every
+            # partial tail instead can leave the log with zero
+            # allocatable pages — replay then wedges because GC has
+            # nowhere to relocate survivors either.  GC gets the largest
+            # tail: it is the stream that reclaims whole blocks, so
+            # feeding it first un-wedges a full log; the host stream can
+            # wait on the space gate, GC cannot.
+            partial_blocks.sort(key=lambda entry: (-entry[0], entry[1]))
+            host_active = gc_active = None
+            if partial_blocks:
+                _, block_index, pointer_index = partial_blocks[0]
+                gc_active = (block_index, pointer_index)
+            if len(partial_blocks) > 1:
+                _, block_index, pointer_index = partial_blocks[1]
+                host_active = (block_index, pointer_index)
+            full_blocks.extend(entry[1] for entry in partial_blocks[2:])
+            log.adopt_blocks(
+                free_blocks, full_blocks,
+                host_active=host_active, gc_active=gc_active,
+            )
+        self._version_counter = max(self._version_counter, max_seq)
+        # Fresh mapping tables, then install each key's newest copy.
+        for namespace in self.namespaces.values():
+            index = Namespace.build_index(
+                namespace.attributes, self.config.kaml.index_bucket_slots
+            )
+            if self.dram.holds(namespace.dram_tag):
+                self.dram.free(namespace.dram_tag)
+            self.dram.allocate(namespace.dram_tag, index.memory_bytes)
+            namespace.index = index
+            namespace.resident = True
+        inserts = 0
+        for entry_key in sorted(winners):
+            _rank, record, location = winners[entry_key]
+            namespace = self.namespaces.get(record.namespace_id)
+            if namespace is None or namespace.index is None:
+                continue  # records of a deleted namespace are garbage
+            self._installed_versions[entry_key] = record.seq
+            if record.value is TOMBSTONE:
+                self._tombstones[entry_key] = (record.seq, location)
+                self._adjust_valid(location, +1)
+                continue
+            namespace.index.insert(record.key, location)
+            self._adjust_valid(location, +1)
+            inserts += 1
+        yield from self.firmware.execute(
+            inserts * (self.costs.hash_insert_us + self.costs.per_record_us)
+        )
+        self.metrics.counter("kaml.recover.scanned_pages").inc(scanned_pages)
+        self.metrics.counter("kaml.recover.scanned_records").inc(scanned_records)
+        self.metrics.counter("kaml.recover.installed_keys").inc(inserts)
+        self.metrics.observe("kaml.recover.scan_us", self.env.now - scan_start)
+        ctx.event(
+            "recover.scan",
+            pages=scanned_pages,
+            records=scanned_records,
+            keys=inserts,
+            max_seq=max_seq,
+        )
+
+    def _replay_batch(self, batch: StagedBatch) -> Any:
+        """Re-append one pinned NVRAM batch and install its mappings.
+
+        Returns the number of records replayed.  Versioned batches
+        (acknowledged before the crash) install under their original
+        commit versions — idempotent against copies the flash scan
+        already recovered, and correctly superseded by any newer version
+        the scan saw.  Unversioned batches were never acknowledged;
+        they apply all-or-nothing with fresh versions.
+        """
+        versions = batch.versions
+        if versions is None:
+            versions = []
+            for _item in batch.items:
+                self._version_counter += 1
+                versions.append(self._version_counter)
+        else:
+            for version in versions:
+                self._version_counter = max(self._version_counter, version)
+        staged_events = []
+        touched = set()
+        for item, version in zip(batch.items, versions):
+            namespace = self.namespaces.get(item.namespace_id)
+            if namespace is None:
+                continue
+            log = self.logs[namespace.next_log_id()]
+            record = Record(
+                item.namespace_id, item.key, item.value, item.size, seq=version
+            )
+            staged_events.append((item, version, log._stage(record, for_gc=False)))
+            touched.add(log.log_id)
+        for log_id in sorted(touched):
+            self.logs[log_id].force_flush()
+        for item, version, event in staged_events:
+            location = yield event
+            if batch.kind == "delete":
+                self._install_tombstone(item.namespace_id, item.key, version, location)
+            elif batch.versions is None:
+                self._install(item.namespace_id, item.key, location)
+                self._installed_versions[(item.namespace_id, item.key)] = max(
+                    version,
+                    self._installed_versions.get((item.namespace_id, item.key), 0),
+                )
+            else:
+                self._install_versioned(item.namespace_id, item.key, version, location)
+        return len(staged_events)
 
     # ------------------------------------------------------------------
     # Helpers

@@ -93,7 +93,7 @@ def check_page_assembly(assembly: Any) -> None:
 
 def check_relocation(ssd: Any, record: Any, old: Any, new: Any) -> None:
     """SAN-OOB / SAN-VALID: post-conditions of a successful relocation."""
-    from repro.kaml.record import decode_bitmap
+    from repro.kaml.record import TOMBSTONE, decode_bitmap
 
     block = ssd.array.block_at(new.page)
     oob = block.pages[new.page.page].peek_oob()
@@ -111,7 +111,15 @@ def check_relocation(ssd: Any, record: Any, old: Any, new: Any) -> None:
             f"({new.chunk}, {new.nchunks}) for ns={record.namespace_id} "
             f"key={record.key}; runs={runs}",
         )
-    if not any(
+    if record.value is TOMBSTONE:
+        entry = ssd._tombstones.get((record.namespace_id, record.key))
+        if entry is None or entry[1] != new:
+            raise InvariantError(
+                "SAN-OOB",
+                f"tombstone table does not point at relocated marker "
+                f"ns={record.namespace_id} key={record.key} after GC install",
+            )
+    elif not any(
         index.lookup(record.key)[0] == new
         for index in ssd._indices_for(record.namespace_id)
     ):
@@ -135,6 +143,59 @@ def check_valid_bytes(ssd: Any, block_key: Tuple[int, int, int]) -> None:
         raise InvariantError(
             "SAN-VALID", f"block {block_key} has {count} valid bytes"
         )
+
+
+def check_recovery(ssd: Any) -> None:
+    """SAN-OOB / SAN-VALID: post-conditions of scan-based recovery.
+
+    Every mapping-table entry and tombstone must reference a chunk run
+    that the destination page's OOB bitmap actually describes, and each
+    block's valid-byte accounting must equal exactly the bytes those
+    references cover — nothing lost, nothing double-counted.  Called by
+    :meth:`~repro.kaml.ssd.KamlSsd.recover` after a full power loss
+    (snapshots did not survive, so references are enumerable exactly).
+    """
+    from repro.kaml.record import decode_bitmap
+
+    referenced: Dict[Tuple[int, int, int], int] = {}
+
+    def reference(namespace_id: int, key: int, location: Any) -> None:
+        block = ssd.array.block_at(location.page)
+        oob = block.pages[location.page.page].peek_oob()
+        runs = decode_bitmap(oob or 0, ssd.geometry.chunks_per_page)
+        if (location.chunk, location.nchunks) not in runs:
+            raise InvariantError(
+                "SAN-OOB",
+                f"recovered mapping ns={namespace_id} key={key} references "
+                f"run ({location.chunk}, {location.nchunks}) absent from "
+                f"page {location.page} OOB (runs={runs})",
+            )
+        block_key = _block_key(location)
+        referenced[block_key] = referenced.get(block_key, 0) + (
+            location.nchunks * ssd.geometry.chunk_size
+        )
+
+    for namespace in ssd.namespaces.values():
+        if namespace.index is None:
+            continue
+        for key, location in namespace.index.items():
+            reference(namespace.namespace_id, key, location)
+    for (namespace_id, key), (_version, location) in sorted(ssd._tombstones.items()):
+        reference(namespace_id, key, location)
+    blocks = set(referenced) | set(ssd._valid_bytes)
+    for block_key in sorted(blocks):
+        accounted = ssd._valid_bytes.get(block_key, 0)
+        expected = referenced.get(block_key, 0)
+        if accounted < 0:
+            raise InvariantError(
+                "SAN-VALID", f"block {block_key} has {accounted} valid bytes"
+            )
+        if accounted != expected:
+            raise InvariantError(
+                "SAN-VALID",
+                f"block {block_key} accounts {accounted} valid bytes after "
+                f"recovery; live references cover {expected}",
+            )
 
 
 # ----------------------------------------------------------------------

@@ -28,7 +28,7 @@ class NvramBuffer:
         self.env = env
         self.capacity_bytes = capacity_bytes
         self._used = 0
-        self._waiters: Deque[Tuple[int, Event]] = deque()
+        self._waiters: Deque[Tuple[int, Any, Event]] = deque()
         self._handles: Dict[int, Tuple[int, Any]] = {}
         self._next_handle = 0
 
@@ -62,10 +62,24 @@ class NvramBuffer:
         return event
 
     def release(self, handle: int) -> None:
-        """Free a reservation (its contents reached flash)."""
+        """Free a reservation (its contents reached flash).
+
+        Releasing a handle twice raises ``InvariantError``: a double
+        release means two paths both think they own the batch's NVRAM
+        lifetime, and the second free would corrupt the space accounting
+        of whatever reservation reused the bytes.  A handle that was
+        never granted at all still raises ``KeyError``.
+        """
         try:
             nbytes, _payload = self._handles.pop(handle)
         except KeyError:
+            if 0 <= handle < self._next_handle:
+                from repro.errors import InvariantError
+
+                raise InvariantError(
+                    "SAN-NVRAM",
+                    f"double release of NVRAM handle {handle}",
+                ) from None
             raise KeyError(f"unknown NVRAM handle: {handle}") from None
         self._used -= nbytes
         self._drain_waiters()
@@ -78,6 +92,16 @@ class NvramBuffer:
         """All staged contents, oldest handle first (crash recovery scan)."""
         for handle in sorted(self._handles):
             yield handle, self._handles[handle][1]
+
+    def power_loss(self) -> None:
+        """Drop pending (not-yet-granted) reservations at a power cut.
+
+        Granted reservations are durable NVRAM contents and survive;
+        queued waiters are volatile command state — the processes behind
+        them are ghosts after the crash, and granting them space during
+        recovery would leak it forever.
+        """
+        self._waiters.clear()
 
     def assert_drained(self) -> None:
         """Raise :class:`~repro.errors.InvariantError` if anything is live.

@@ -31,6 +31,7 @@ def test_production_tree_is_clean():
         ("lock_cycle.py", "KL-LCK002"),
         ("sim_blocking.py", "KL-SIM001"),
         ("bare_assert.py", "KL-INV001"),
+        ("fault_peek.py", "KL-FLT001"),
     ],
 )
 def test_seeded_fixture_triggers_rule(fixture, rule):

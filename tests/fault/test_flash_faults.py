@@ -1,0 +1,48 @@
+"""Transient flash faults: program/erase failures, retries, remapping."""
+
+import pytest
+
+from repro.fault import FaultPlan, FlashFaultInjector, run_scenario
+from repro.fault.harness import default_config
+from repro.kaml import KamlSsd
+from repro.sim import Environment
+
+
+def test_fail_rates_are_validated():
+    with pytest.raises(ValueError):
+        FlashFaultInjector(seed=1, program_fail_rate=1.5)
+    with pytest.raises(ValueError):
+        FlashFaultInjector(seed=1, erase_fail_rate=-0.1)
+
+
+def test_injector_installs_on_every_chip():
+    env = Environment()
+    ssd = KamlSsd(env, default_config())
+    injector = FlashFaultInjector(seed=3, program_fail_rate=0.5)
+    injector.install(ssd.array)
+    for _channel, _chip_index, chip in ssd.array.iter_chips():
+        assert chip.fault_hook == injector._hook  # bound methods compare equal
+
+
+def test_workload_survives_transient_program_and_erase_faults():
+    """With double-digit fault rates the workload still completes and the
+    recovered state still matches the shadow — the log absorbs program
+    failures by re-staging onto a fresh page and erase failures by
+    bounded retry, then block retirement."""
+    result = run_scenario(
+        FaultPlan(point="put.before_install", hit=20),
+        seed=4,
+        program_fail_rate=0.10,
+        erase_fail_rate=0.10,
+    )
+    assert result["ok"], result["failures"]
+    metrics = result["metrics"]
+    assert metrics.total("fault.flash.injected") > 0
+    assert metrics.total("kaml.log.program_failures") > 0
+    assert metrics.total("kaml.log.program_retries") > 0
+
+
+def test_no_faults_injected_at_zero_rate():
+    result = run_scenario(FaultPlan(point="log.mid_flush", hit=3), seed=1)
+    assert result["ok"], result["failures"]
+    assert result["metrics"].total("fault.flash.injected") == 0

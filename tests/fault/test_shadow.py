@@ -1,0 +1,90 @@
+"""Unit tests for the host-side shadow model's divergence rules."""
+
+from repro.fault.shadow import ShadowModel
+
+
+def put(shadow, keys, ack=True):
+    op_id = shadow.begin("put", keys)
+    if ack:
+        shadow.ack(op_id)
+    return op_id
+
+
+def test_acked_put_must_be_visible():
+    shadow = ShadowModel()
+    op = put(shadow, [7])
+    assert shadow.verify({7: shadow.value_for(op, 7)}) == []
+    failures = shadow.verify({7: None})
+    assert failures and "7" in failures[0]
+
+
+def test_in_flight_put_may_be_old_new_but_not_absent_after_older_ack():
+    shadow = ShadowModel()
+    old = put(shadow, [3])
+    newer = shadow.begin("put", [3])  # crashed mid-flight, never acked
+    # Either the old acked value or the in-flight one is fine...
+    assert shadow.verify({3: shadow.value_for(old, 3)}) == []
+    assert shadow.verify({3: shadow.value_for(newer, 3)}) == []
+    # ...but the key must not vanish: an acked write existed.
+    assert shadow.verify({3: None}) != []
+
+
+def test_never_acked_key_may_be_absent():
+    shadow = ShadowModel()
+    shadow.begin("put", [9])  # in flight at the cut
+    assert shadow.verify({9: None}) == []
+
+
+def test_acked_delete_allows_absence():
+    shadow = ShadowModel()
+    put(shadow, [4])
+    op = shadow.begin("delete", [4])
+    shadow.ack(op)
+    assert shadow.verify({4: None}) == []
+
+
+def test_torn_group_batch_is_divergence():
+    shadow = ShadowModel()
+    keys = [100, 101, 102]
+    shadow.register_group(keys)
+    op = shadow.begin("put", keys)
+    shadow.ack(op)
+    whole = {key: shadow.value_for(op, key) for key in keys}
+    assert shadow.verify(whole) == []
+    # Partial visibility of an atomic batch is torn.
+    torn = dict(whole)
+    torn[101] = None
+    assert shadow.verify(torn) != []
+
+
+def test_mixed_group_op_ids_are_torn():
+    shadow = ShadowModel()
+    keys = [200, 201, 202]
+    shadow.register_group(keys)
+    first = shadow.begin("put", keys)
+    shadow.ack(first)
+    second = shadow.begin("put", keys)  # in flight at the cut
+    # All-old and all-new are both consistent cuts...
+    assert shadow.verify({k: shadow.value_for(first, k) for k in keys}) == []
+    assert shadow.verify({k: shadow.value_for(second, k) for k in keys}) == []
+    # ...a mix of the two batches is not.
+    mixed = {k: shadow.value_for(first, k) for k in keys}
+    mixed[202] = shadow.value_for(second, 202)
+    assert shadow.verify(mixed) != []
+
+
+def test_unknown_value_marker_is_divergence():
+    shadow = ShadowModel()
+    put(shadow, [5])
+    failures = shadow.verify({5: ("crash", 424242, 5)})
+    assert failures
+
+
+def test_verify_covers_every_touched_key():
+    """A key missing from the observation counts as absent: an acked put
+    there is reported lost rather than silently skipped."""
+    shadow = ShadowModel()
+    one = put(shadow, [1])
+    put(shadow, [2])
+    failures = shadow.verify({1: shadow.value_for(one, 1)})  # key 2 missing
+    assert failures and "key 2" in failures[0]

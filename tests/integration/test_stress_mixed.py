@@ -72,11 +72,16 @@ def test_mixed_stress_audit():
     assert proc.value == []
 
     # Accounting audit: valid bytes equal the chunk-rounded footprint of
-    # exactly the live keys, and the staging pipeline is empty.
+    # exactly the live keys plus the live delete tombstones (a tombstone
+    # stays valid while it is the newest version of its key, so a power
+    # loss cannot resurrect the deleted value), and the staging pipeline
+    # is empty.
     expected_valid = 0
     for key, value in model.items():
         location, _ = ssd.namespaces[nsid].index.lookup(key)
         assert location is not None, key
+        expected_valid += location.nchunks * geometry.chunk_size
+    for _version, location in ssd._tombstones.values():
         expected_valid += location.nchunks * geometry.chunk_size
     assert sum(ssd._valid_bytes.values()) == expected_valid
     assert not ssd._staged

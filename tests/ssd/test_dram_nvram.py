@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import InvariantError
 from repro.sim import Environment
 from repro.ssd import DramExhausted, NvramBuffer, NvramExhausted, OnboardDram
 
@@ -153,3 +154,19 @@ def test_nvram_release_unknown_handle():
     nvram = NvramBuffer(env, 100)
     with pytest.raises(KeyError):
         nvram.release(99)
+
+
+def test_nvram_double_release_rejected():
+    """Releasing a granted handle twice is an invariant violation: two
+    paths both believe they own the batch's NVRAM lifetime, and the
+    second free would corrupt the accounting of whoever reused the
+    bytes.  (A never-granted handle stays a plain KeyError.)"""
+    env = Environment()
+    nvram = NvramBuffer(env, 1000)
+    handle = nvram.reserve(300, payload="batch").value
+    nvram.release(handle)
+    with pytest.raises(InvariantError) as excinfo:
+        nvram.release(handle)
+    assert "SAN-NVRAM" in str(excinfo.value)
+    # The failed double release must not have touched the accounting.
+    assert nvram.used_bytes == 0
