@@ -45,11 +45,16 @@ def _cell_row(cell: Dict[str, Any]) -> str:
     )
 
 
+#: Cell keys that hold live objects (flight recorder, metrics registry)
+#: rather than JSON-serializable scenario facts.
+_LIVE_CELL_KEYS = ("recorder", "metrics")
+
+
 def _report_payload(report: Dict[str, Any]) -> Dict[str, Any]:
-    """The matrix result minus live objects (flight recorders)."""
+    """The matrix result minus live objects (recorders, metric registries)."""
     cells = []
     for cell in report["cells"]:
-        cells.append({k: v for k, v in cell.items() if k != "recorder"})
+        cells.append({k: v for k, v in cell.items() if k not in _LIVE_CELL_KEYS})
     return {
         "ok": report["ok"],
         "seeds": report["seeds"],
@@ -71,6 +76,14 @@ def _write_flight_dumps(report: Dict[str, Any], flight_dir: str) -> List[str]:
     return written
 
 
+def _md_cell(text: str, limit: int = 160) -> str:
+    """Make arbitrary failure text safe inside a markdown table cell."""
+    text = text.replace("|", "\\|").replace("\n", " ")
+    if len(text) > limit:
+        text = text[: limit - 1] + "…"
+    return text
+
+
 def _step_summary(report: Dict[str, Any]) -> str:
     lines = [
         "### Crash-consistency matrix",
@@ -80,10 +93,11 @@ def _step_summary(report: Dict[str, Any]) -> str:
     ]
     for cell in report["cells"]:
         hit = cell.get("hit")
+        result = "ok" if cell["ok"] else "FAIL: " + _md_cell(cell["failures"][0])
         lines.append(
             f"| {cell['seed']} | {cell['point'] or '(counting)'} "
             f"| {'-' if hit is None else hit} "
-            f"| {'ok' if cell['ok'] else 'FAIL: ' + cell['failures'][0]} |"
+            f"| {result} |"
         )
     lines.append("")
     return "\n".join(lines)

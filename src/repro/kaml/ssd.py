@@ -34,7 +34,7 @@ from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 from repro import sanitize
 from repro.config import ReproConfig
 from repro.flash import FlashArray, PagePointer
-from repro.kaml.log import KamlLog
+from repro.kaml.log import KamlLog, LogSpaceError
 from repro.kaml.namespace import Namespace, NamespaceAttributes, NamespaceError
 from repro.kaml.record import (
     RECORD_HEADER_BYTES,
@@ -766,19 +766,34 @@ class KamlSsd:
     def _complete_delete(
         self, namespace_id: int, key: int, version: int, handle: int, epoch: int
     ) -> Any:
-        """Append the tombstone record and retire the NVRAM pin."""
-        try:
-            namespace = self.namespaces.get(namespace_id)
-            if namespace is None:
-                return  # namespace dropped; nothing left to shadow
-            log = self.logs[namespace.next_log_id()]
-            record = Record(namespace_id, key, TOMBSTONE, 0, seq=version)
-            location = yield from log.append(record)
-            if self.epoch == epoch:
-                self._install_tombstone(namespace_id, key, version, location)
-        finally:
+        """Append the tombstone record and retire the NVRAM pin.
+
+        The pin is released only once the tombstone is on flash (or the
+        namespace is gone): the delete was acknowledged at the pin, so
+        until an on-flash marker exists the pinned batch is the sole
+        durable record of it.  If the append fails — log full, program
+        retries exhausted — the pin stays live and NVRAM replay re-drives
+        the delete after a crash instead of resurrecting the key.
+        """
+        namespace = self.namespaces.get(namespace_id)
+        if namespace is None:
+            # Namespace dropped: the key can never be read again, so the
+            # pinned intent is moot and the space can be reclaimed.
             if self.epoch == epoch:
                 self.nvram.release(handle)
+            return
+        log = self.logs[namespace.next_log_id()]
+        record = Record(namespace_id, key, TOMBSTONE, 0, seq=version)
+        try:
+            location = yield from log.append(record)
+        except LogSpaceError:
+            self.metrics.counter(
+                "kaml.ssd.delete_append_failures", namespace=namespace_id
+            ).inc()
+            return  # keep the pin: replay owns the acked delete
+        if self.epoch == epoch:
+            self._install_tombstone(namespace_id, key, version, location)
+            self.nvram.release(handle)
 
     # ------------------------------------------------------------------
     # Mapping installs and valid-byte accounting

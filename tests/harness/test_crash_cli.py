@@ -1,0 +1,80 @@
+"""The `python -m repro.harness crash` crash-consistency CLI.
+
+CI always invokes the harness with ``--report`` and a populated
+``GITHUB_STEP_SUMMARY``, so both artifact paths are exercised
+end-to-end here: the JSON report must serialize (no live recorder or
+metrics-registry objects leaking into ``json.dump``) and the step
+summary must survive failure text containing markdown-table
+metacharacters.
+"""
+
+import json
+
+from repro.harness.crash_cli import _md_cell, _step_summary, main
+
+
+def test_list_points(capsys):
+    assert main(["--list-points"]) == 0
+    out = capsys.readouterr().out
+    assert "put.before_install" in out
+
+
+def test_report_written_end_to_end(tmp_path, capsys, monkeypatch):
+    """A passing cell writes a loadable JSON report and a step summary."""
+    report_path = tmp_path / "crash-divergence.json"
+    summary_path = tmp_path / "step-summary.md"
+    summary_path.write_text("")
+    monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary_path))
+
+    code = main(
+        [
+            "--point", "put.before_install",
+            "--seeds", "1",
+            "--ops", "40",
+            "--report", str(report_path),
+        ]
+    )
+    assert code == 0, capsys.readouterr().out
+
+    with open(report_path) as handle:
+        payload = json.load(handle)
+    assert payload["ok"] is True
+    assert payload["points"] == ["put.before_install"]
+    assert payload["cells"], "report must carry the matrix cells"
+    for cell in payload["cells"]:
+        assert "recorder" not in cell
+        assert "metrics" not in cell
+
+    summary = summary_path.read_text()
+    assert "Crash-consistency matrix" in summary
+    assert "put.before_install" in summary
+
+
+def test_step_summary_escapes_table_metacharacters():
+    report = {
+        "ok": False,
+        "seeds": [7],
+        "points": ["log.mid_flush"],
+        "cells": [
+            {
+                "ok": False,
+                "seed": 7,
+                "point": "log.mid_flush",
+                "hit": 3,
+                "failures": [
+                    "group [1000, 1001, 1002]: torn batch | partial "
+                    "visibility " + "x" * 300,
+                ],
+            }
+        ],
+    }
+    summary = _step_summary(report)
+    row = [line for line in summary.splitlines() if "log.mid_flush" in line][0]
+    # Escaped pipes and truncation keep the row a valid 4-column table row.
+    assert "\\|" in row
+    assert row.count("|") - row.count("\\|") == 5
+    assert "…" in row
+
+
+def test_md_cell_flattens_newlines():
+    assert _md_cell("a\nb|c") == "a b\\|c"
