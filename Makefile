@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-sanitized lint kamllint lint-deep format bench-smoke perf-gate rebaseline obs-demo crash-matrix
+.PHONY: test test-sanitized lint kamllint lint-deep format bench-smoke bench-perf perf-gate rebaseline obs-demo crash-matrix
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,13 +32,20 @@ format:
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/test_fig5_bandwidth.py -q
 
-# Compare the freshest smoke-bench artifact against benchmarks/baseline.json.
+# Simulator-throughput benchmark (sim-events/sec, ops/sec); the artifact
+# feeds the perf gate alongside the fig5 numbers.
+bench-perf:
+	mkdir -p benchmarks/artifacts
+	$(PYTHON) -m repro.harness perf --json benchmarks/artifacts/perf.json
+
+# Compare the freshest smoke-bench + perf artifacts against baseline.json.
 perf-gate:
 	$(PYTHON) benchmarks/compare_baseline.py
 
 # Refresh the checked-in baseline after an *intentional* performance shift:
-# re-runs the smoke bench, rewrites baseline.json, and you commit the result.
-rebaseline: bench-smoke
+# re-runs the smoke bench and the throughput benchmark, rewrites
+# baseline.json with every gated metric, and you commit the result.
+rebaseline: bench-smoke bench-perf
 	$(PYTHON) benchmarks/compare_baseline.py --rebaseline
 
 # Power-loss crash-consistency matrix: every crash point x 3 seeds, with

@@ -74,6 +74,11 @@ class BufferManager:
         self._used = 0
         self.metrics = ssd.metrics
         self.stats = CacheStats(self.metrics)
+        # Hot-path instruments, resolved once instead of per access.
+        self._used_bytes_gauge = self.metrics.gauge("cache.used_bytes")
+        self._writebacks_counter = self.metrics.counter("cache.writebacks")
+        self._evictions_counter = self.metrics.counter("cache.evictions")
+        self._read_counters: dict = {}
 
     @property
     def used_bytes(self) -> int:
@@ -95,16 +100,24 @@ class BufferManager:
         ) if ctx is not None else None
         yield self.env.timeout(self.costs.cache_probe_us)
         cache_key = (namespace_id, key)
-        self.metrics.counter("cache.reads", namespace=namespace_id).inc()
+        counters = self._read_counters.get(namespace_id)
+        if counters is None:
+            counters = (
+                self.metrics.counter("cache.reads", namespace=namespace_id),
+                self.metrics.counter("cache.hits", namespace=namespace_id),
+                self.metrics.counter("cache.misses", namespace=namespace_id),
+            )
+            self._read_counters[namespace_id] = counters
+        counters[0].inc()
         try:
             entry = self._entries.get(cache_key)
             if entry is not None:
-                self.metrics.counter("cache.hits", namespace=namespace_id).inc()
+                counters[1].inc()
                 if cache_span is not None:
                     cache_span.tags["hit"] = True
                 self._entries.move_to_end(cache_key)
                 return entry.value, entry.size
-            self.metrics.counter("cache.misses", namespace=namespace_id).inc()
+            counters[2].inc()
             if cache_span is not None:
                 cache_span.tags["hit"] = False
             result = yield from self.ssd.get_record(namespace_id, key, ctx=ctx)
@@ -150,7 +163,7 @@ class BufferManager:
         yield from self.ssd.put(items)
         for _cache_key, entry in dirty:
             entry.dirty = False
-        self.metrics.counter("cache.writebacks").inc(len(dirty))
+        self._writebacks_counter.inc(len(dirty))
 
     # ------------------------------------------------------------------
     # Internals
@@ -174,7 +187,7 @@ class BufferManager:
             self._used += size
         while self._used > self.capacity_bytes:
             yield from self._evict_one()
-        self.metrics.gauge("cache.used_bytes").set(self._used)
+        self._used_bytes_gauge.set(self._used)
         yield self.env.timeout(size / self.costs.copy_bytes_per_us)
 
     def _evict_one(self) -> Any:
@@ -183,8 +196,8 @@ class BufferManager:
             yield from self.ssd.put(
                 [PutItem(victim_key[0], victim_key[1], victim.value, victim.size)]
             )
-            self.metrics.counter("cache.writebacks").inc()
+            self._writebacks_counter.inc()
         self._entries.pop(victim_key, None)
         self._used -= victim.size
-        self.metrics.counter("cache.evictions").inc()
-        self.metrics.gauge("cache.used_bytes").set(self._used)
+        self._evictions_counter.inc()
+        self._used_bytes_gauge.set(self._used)

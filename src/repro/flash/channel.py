@@ -36,6 +36,9 @@ class FlashChannel:
         ]
         self.bus = Resource(env, capacity=1, name=f"ch{index}.bus")
         self.bus_busy_us = 0.0
+        # Timing constants hoisted out of the per-transfer hot path.
+        self._bus_command_us = timings.bus_command_us
+        self._bus_bytes_per_us = timings.bus_bytes_per_us
 
     def chip(self, chip_index: int) -> FlashChip:
         if not 0 <= chip_index < len(self.chips):
@@ -43,7 +46,7 @@ class FlashChannel:
         return self.chips[chip_index]
 
     def transfer_time(self, nbytes: int) -> float:
-        return self.timings.bus_command_us + nbytes / self.timings.bus_bytes_per_us
+        return self._bus_command_us + nbytes / self._bus_bytes_per_us
 
     def transfer(self, nbytes: int) -> Any:
         """Occupy the bus long enough to move ``nbytes``."""

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any
 
 from repro.config import FlashGeometry, FlashTimings
@@ -11,12 +10,16 @@ from repro.flash.errors import AddressError, EraseFailure, ProgramFailure
 from repro.sim import Environment, Resource
 
 
-@dataclass
 class ChipStats:
-    reads: int = 0
-    programs: int = 0
-    erases: int = 0
-    busy_us: float = 0.0
+    """Per-chip operation tallies (slotted: bumped on every flash op)."""
+
+    __slots__ = ("reads", "programs", "erases", "busy_us")
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.programs = 0
+        self.erases = 0
+        self.busy_us = 0.0
 
 
 class FlashChip:
@@ -42,6 +45,10 @@ class FlashChip:
         self.blocks = [FlashBlock(geometry) for _ in range(geometry.blocks_per_chip)]
         self.engine = Resource(env, capacity=1, name=f"{name}.engine")
         self.stats = ChipStats()
+        # Timing constants hoisted out of the per-op generator bodies.
+        self._read_us = timings.read_us
+        self._program_us = timings.program_us
+        self._erase_us = timings.erase_us
         #: Optional transient-fault hook (``repro.fault``): called as
         #: ``hook(op, block_index, page_index)`` and returns True when the
         #: operation should fail.  None (the default) costs nothing.
@@ -69,7 +76,7 @@ class FlashChip:
         yield request
         try:
             started = self.env.now
-            yield self.env.timeout(self.timings.read_us)
+            yield self.env.timeout(self._read_us)
             self.stats.reads += 1
             self.stats.busy_us += self.env.now - started
             return block.read(page_index)
@@ -103,7 +110,7 @@ class FlashChip:
                 # bitmap decodes to nothing, so scans and GC skip it.
                 block.program(page_index, {}, oob=0)
                 started = self.env.now
-                yield self.env.timeout(self.timings.program_us)
+                yield self.env.timeout(self._program_us)
                 self.stats.programs += 1
                 self.stats.busy_us += self.env.now - started
                 raise ProgramFailure(
@@ -112,7 +119,7 @@ class FlashChip:
                 )
             block.program(page_index, data, oob)
             started = self.env.now
-            yield self.env.timeout(self.timings.program_us)
+            yield self.env.timeout(self._program_us)
             self.stats.programs += 1
             self.stats.busy_us += self.env.now - started
         finally:
@@ -126,7 +133,7 @@ class FlashChip:
         yield request
         try:
             started = self.env.now
-            yield self.env.timeout(self.timings.erase_us)
+            yield self.env.timeout(self._erase_us)
             self.stats.erases += 1
             self.stats.busy_us += self.env.now - started
             if generation != self.generation:

@@ -8,6 +8,7 @@ Regenerate any figure of the paper from a shell::
     python -m repro.harness --list
     python -m repro.harness obs --ops 200 --slo-put-us 150   # obs driver
     python -m repro.harness crash --matrix                   # crash matrix
+    python -m repro.harness perf --json perf.json            # sim throughput
 """
 
 from __future__ import annotations
@@ -48,6 +49,10 @@ def main(argv=None) -> int:
         from repro.harness import crash_cli
 
         return crash_cli.main(argv[1:])
+    if argv and argv[0] == "perf":
+        from repro.harness import perf_cli
+
+        return perf_cli.main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -74,6 +79,7 @@ def main(argv=None) -> int:
             print(f"{name:10} {description}")
         print(f"{'obs':10} observability driver (tracing/SLO dashboard)")
         print(f"{'crash':10} crash-consistency matrix (see 'crash --help')")
+        print(f"{'perf':10} simulator throughput benchmark (see 'perf --help')")
         return 0
 
     names = list(EXPERIMENTS) if "all" in args.figures else args.figures

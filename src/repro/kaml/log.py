@@ -44,6 +44,9 @@ class _WritePoint:
     assembly: PageAssembly
     waiters: List[Tuple[int, Record, Event]] = field(default_factory=list)
     generation: int = 0
+    #: Pending flush-timer event (bootstrap or armed timeout); defused
+    #: when the page flushes early so no ghost fires at the deadline.
+    timer: Optional[Event] = None
 
 
 class LogStats:
@@ -137,6 +140,26 @@ class KamlLog:
         self._program_lock = SimLock(
             env, name=f"log{log_id}.program", static_site="KamlLog._program_lock"
         )
+        # Hot-path instruments, resolved once instead of per append/flush
+        # (registry lookups sort+hash the label set on every call).
+        metrics = self.metrics
+        self._wasted_chunks_counter = metrics.counter(
+            "kaml.log.wasted_chunks", log=log_id
+        )
+        self._timer_flushes_counter = metrics.counter(
+            "kaml.log.timer_flushes", log=log_id
+        )
+        self._programmed_pages_counter = metrics.counter(
+            "kaml.log.programmed_pages", log=log_id
+        )
+        self._programmed_bytes_counter = metrics.counter(
+            "kaml.log.programmed_bytes", log=log_id
+        )
+        self._program_us_histogram = metrics.histogram(
+            "kaml.log.program_us", log=log_id
+        )
+        #: (namespace_id, stream) -> (records counter, bytes counter)
+        self._append_counters: Dict[Tuple[int, str], Tuple[Any, Any]] = {}
         self.space_gate = Gate(env, name=f"log{log_id}.space")
         self.gc_running = False
         #: Bumped by crash recovery; in-flight processes from before the
@@ -185,9 +208,7 @@ class KamlLog:
                 f"record of {record.size} B exceeds one page"
             )
         if not point.assembly.fits(record):
-            self.metrics.counter(
-                "kaml.log.wasted_chunks", log=self.log_id
-            ).inc(point.assembly.free_chunks)
+            self._wasted_chunks_counter.inc(point.assembly.free_chunks)
             self._launch_flush(for_gc)
             point = self._points[for_gc]
         was_empty = point.assembly.is_empty
@@ -195,39 +216,72 @@ class KamlLog:
         event = self.env.event()
         point.waiters.append((start, record, event))
         stream = "gc" if for_gc else "host"
-        self.metrics.counter(
-            "kaml.log.appended_records",
-            log=self.log_id, namespace=record.namespace_id, stream=stream,
-        ).inc()
-        self.metrics.counter(
-            "kaml.log.append_bytes",
-            log=self.log_id, namespace=record.namespace_id, stream=stream,
-        ).inc(record.size)
+        counters = self._append_counters.get((record.namespace_id, stream))
+        if counters is None:
+            counters = (
+                self.metrics.counter(
+                    "kaml.log.appended_records",
+                    log=self.log_id, namespace=record.namespace_id, stream=stream,
+                ),
+                self.metrics.counter(
+                    "kaml.log.append_bytes",
+                    log=self.log_id, namespace=record.namespace_id, stream=stream,
+                ),
+            )
+            self._append_counters[(record.namespace_id, stream)] = counters
+        counters[0].inc()
+        counters[1].inc(record.size)
         if point.assembly.free_chunks == 0:
             self._launch_flush(for_gc)
         elif was_empty:
-            self.env.process(self._flush_timer(for_gc, point.generation))
+            self._start_flush_timer(for_gc, point)
         return event
 
     def _launch_flush(self, for_gc: bool) -> None:
         point = self._points[for_gc]
         if point.assembly.is_empty:
             return
+        if point.timer is not None:
+            # The page is flushing before its deadline: kill the timer
+            # instead of letting it fire as a ghost wakeup.
+            point.timer.defuse()
+            point.timer = None
         assembly, waiters = point.assembly, point.waiters
         self._points[for_gc] = _WritePoint(self._new_assembly(), generation=point.generation + 1)
         self.env.process(self._flush_process(assembly, waiters, for_gc))
 
-    def _flush_timer(self, for_gc: bool, generation: int) -> Any:
-        """Program a partially filled page after a timeout (Section IV-B)."""
-        yield self.env.timeout(self.params.flush_timeout_us)
-        point = self._points[for_gc]
-        if point.generation == generation and not point.assembly.is_empty:
-            # Timer flushes pad out the page: the free tail is wasted.
-            self.metrics.counter(
-                "kaml.log.wasted_chunks", log=self.log_id
-            ).inc(point.assembly.free_chunks)
-            self.metrics.counter("kaml.log.timer_flushes", log=self.log_id).inc()
-            self._launch_flush(for_gc)
+    def _start_flush_timer(self, for_gc: bool, point: _WritePoint) -> None:
+        """Program a partially filled page after a timeout (Section IV-B).
+
+        Event-based replacement for the old generator process, keeping its
+        exact two-step schedule (a bootstrap event at *now*, the timeout at
+        bootstrap dispatch) so event ordering — and therefore every
+        fixed-seed digest — is unchanged.  Unlike the process version, the
+        timer is defused when the page flushes early, so a full page does
+        not leave a ghost wakeup in the heap.
+        """
+        generation = point.generation
+
+        def arm(_bootstrap: Event) -> None:
+            if self._points[for_gc] is not point or point.generation != generation:
+                return  # flushed while the bootstrap was in flight
+            timeout = self.env.timeout(self.params.flush_timeout_us)
+            timeout.add_callback(fire)
+            point.timer = timeout
+
+        def fire(_timeout: Event) -> None:
+            current = self._points[for_gc]
+            if current.generation == generation and not current.assembly.is_empty:
+                # Timer flushes pad out the page: the free tail is wasted.
+                self._wasted_chunks_counter.inc(current.assembly.free_chunks)
+                self._timer_flushes_counter.inc()
+                self._launch_flush(for_gc)
+
+        bootstrap = Event(self.env)
+        bootstrap._triggered = True
+        bootstrap.add_callback(arm)
+        point.timer = bootstrap
+        self.env._schedule(bootstrap, 0.0)
 
     def _flush_process(self, assembly: PageAssembly, waiters, for_gc: bool) -> Any:
         epoch = self.epoch
@@ -300,13 +354,9 @@ class KamlLog:
                     ).inc()
                     continue
                 break
-            self.metrics.counter("kaml.log.programmed_pages", log=self.log_id).inc()
-            self.metrics.counter(
-                "kaml.log.programmed_bytes", log=self.log_id
-            ).inc(self.geometry.page_size)
-            self.metrics.observe(
-                "kaml.log.program_us", self.env.now - program_start, log=self.log_id
-            )
+            self._programmed_pages_counter.inc()
+            self._programmed_bytes_counter.inc(self.geometry.page_size)
+            self._program_us_histogram.observe(self.env.now - program_start)
         finally:
             if held:
                 self._program_lock.release()
@@ -586,6 +636,9 @@ class KamlLog:
         self.epoch += 1
         for for_gc in (False, True):
             point = self._points[for_gc]
+            if point.timer is not None:
+                point.timer.defuse()
+                point.timer = None
             self._points[for_gc] = _WritePoint(
                 self._new_assembly(), generation=point.generation + 1
             )

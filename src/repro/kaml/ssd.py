@@ -195,6 +195,20 @@ class KamlSsd:
         #: True between :meth:`power_loss` and the end of :meth:`recover`:
         #: mapping tables must be rebuilt by scanning flash.
         self._dram_lost = False
+        # Hot-path instruments, resolved once instead of per command
+        # (registry lookups sort+hash the label set on every call).
+        self._puts_counter = self.metrics.counter("kaml.ssd.puts")
+        self._put_records_counter = self.metrics.counter("kaml.ssd.put_records")
+        self._nvram_wait_us_histogram = self.metrics.histogram("kaml.put.nvram_wait_us")
+        self._nvram_used_gauge = self.metrics.gauge("kaml.nvram.used_bytes")
+        self._phase1_us_histogram = self.metrics.histogram("kaml.put.phase1_us")
+        self._phase2_us_histogram = self.metrics.histogram("kaml.put.phase2_us")
+        self._nvram_pin_us_histogram = self.metrics.histogram("kaml.put.nvram_pin_us")
+        self._index_probes_histogram = self.metrics.histogram("kaml.get.index_probes")
+        #: namespace_id -> cached per-namespace instruments
+        self._gets_counters: Dict[int, Any] = {}
+        self._put_bytes_counters: Dict[int, Any] = {}
+        self._get_us_histograms: Dict[int, Any] = {}
 
     # ------------------------------------------------------------------
     # Namespace management (Table I)
@@ -302,7 +316,11 @@ class KamlSsd:
         """``Get`` returning ``(value, size)`` — what the caching layer uses."""
         namespace = self._namespace(namespace_id)
         namespace.require_resident()
-        self.metrics.counter("kaml.ssd.gets", namespace=namespace_id).inc()
+        gets_counter = self._gets_counters.get(namespace_id)
+        if gets_counter is None:
+            gets_counter = self.metrics.counter("kaml.ssd.gets", namespace=namespace_id)
+            self._gets_counters[namespace_id] = gets_counter
+        gets_counter.inc()
         owns_ctx = ctx is None
         if owns_ctx:
             ctx = self.tracer.request("kaml.get", namespace=namespace_id, key=key)
@@ -332,7 +350,7 @@ class KamlSsd:
                 return value, size
             probe_span = ctx.begin("get.index_probe", parent=get_span)
             location, scanned = namespace.index.lookup(key)
-            self.metrics.observe("kaml.get.index_probes", scanned)
+            self._index_probes_histogram.observe(scanned)
             yield from self.firmware.execute(scanned * self.costs.hash_probe_us)
             ctx.finish(probe_span)
             if location is None:
@@ -362,9 +380,11 @@ class KamlSsd:
                 yield from self.link.device_to_host(record.size)
             return record.value, record.size
         finally:
-            self.metrics.observe(
-                "kaml.get.us", self.env.now - started, namespace=namespace_id
-            )
+            get_us = self._get_us_histograms.get(namespace_id)
+            if get_us is None:
+                get_us = self.metrics.histogram("kaml.get.us", namespace=namespace_id)
+                self._get_us_histograms[namespace_id] = get_us
+            get_us.observe(self.env.now - started)
             if owns_ctx:
                 ctx.close()
             else:
@@ -551,23 +571,33 @@ class KamlSsd:
                 raise RecordTooLargeError(
                     f"value of {item.size} B does not fit in one flash page"
                 )
-        self.metrics.counter("kaml.ssd.puts").inc()
-        self.metrics.counter("kaml.ssd.put_records").inc(len(items))
+        self._puts_counter.inc()
+        self._put_records_counter.inc(len(items))
+        put_bytes_counters = self._put_bytes_counters
         for item in items:
-            self.metrics.counter(
-                "kaml.put.bytes", namespace=item.namespace_id
-            ).inc(item.size)
+            counter = put_bytes_counters.get(item.namespace_id)
+            if counter is None:
+                counter = self.metrics.counter(
+                    "kaml.put.bytes", namespace=item.namespace_id
+                )
+                put_bytes_counters[item.namespace_id] = counter
+            counter.inc(item.size)
         owns_ctx = ctx is None
-        span_tags = {
-            "namespace": items[0].namespace_id,
-            "records": len(items),
-            "keys": [item.key for item in items],
-        }
-        if owns_ctx:
-            ctx = self.tracer.request("kaml.put", **span_tags)
+        if owns_ctx and not self.tracer.enabled:
+            # Disarmed tracer: skip building span tags entirely.
+            ctx = NULL_CONTEXT
             put_span = ctx.root
         else:
-            put_span = ctx.begin("kaml.put", **span_tags)
+            span_tags = {
+                "namespace": items[0].namespace_id,
+                "records": len(items),
+                "keys": [item.key for item in items],
+            }
+            if owns_ctx:
+                ctx = self.tracer.request("kaml.put", **span_tags)
+                put_span = ctx.root
+            else:
+                put_span = ctx.begin("kaml.put", **span_tags)
         epoch = self.epoch
         phase1_start = self.env.now
         phase1_span = ctx.begin(
@@ -589,9 +619,9 @@ class KamlSsd:
         handle = yield self.nvram.reserve(total_bytes, payload=batch)
         self._crash_point("put.after_nvram_pin")
         ctx.finish(reserve_span)
-        self.metrics.observe("kaml.put.nvram_wait_us", self.env.now - nvram_wait_start)
+        self._nvram_wait_us_histogram.observe(self.env.now - nvram_wait_start)
         pin_start = self.env.now
-        self.metrics.gauge("kaml.nvram.used_bytes").set(self.nvram.used_bytes)
+        self._nvram_used_gauge.set(self.nvram.used_bytes)
         yield from self.firmware.execute(
             self.costs.dispatch_us + total_bytes / self.costs.nvram_copy_bytes_per_us
         )
@@ -646,7 +676,7 @@ class KamlSsd:
         # Phases 2-3 outlive the caller's context (a committing txn closes
         # at the ack); detach so close() can't truncate the put span.
         ctx.detach(put_span)
-        self.metrics.observe("kaml.put.phase1_us", self.env.now - phase1_start)
+        self._phase1_us_histogram.observe(self.env.now - phase1_start)
         self.slo.record(
             "put", items[0].namespace_id, phase1_start, self.env.now, ctx.trace_id
         )
@@ -707,13 +737,9 @@ class KamlSsd:
         finally:
             if self.epoch == epoch:
                 self.nvram.release(handle)
-                self.metrics.observe(
-                    "kaml.put.nvram_pin_us", self.env.now - pin_start
-                )
-                self.metrics.observe(
-                    "kaml.put.phase2_us", self.env.now - phase2_start
-                )
-                self.metrics.gauge("kaml.nvram.used_bytes").set(self.nvram.used_bytes)
+                self._nvram_pin_us_histogram.observe(self.env.now - pin_start)
+                self._phase2_us_histogram.observe(self.env.now - phase2_start)
+                self._nvram_used_gauge.set(self.nvram.used_bytes)
                 ctx.record_span("put.nvram_pin", start_us=pin_start, parent=put_span)
             if phase2_span is not None:
                 ctx.finish(phase2_span)

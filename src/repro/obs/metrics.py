@@ -25,6 +25,8 @@ LabelsKey = Tuple[Tuple[str, object], ...]
 
 def labels_key(labels: Dict[str, object]) -> LabelsKey:
     """Canonical, hashable form of a label mapping."""
+    if not labels:
+        return ()
     return tuple(sorted(labels.items()))
 
 

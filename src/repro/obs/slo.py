@@ -75,6 +75,8 @@ class SloTracker:
         self.breaches: List[SloBreach] = []
         #: Breaches beyond ``max_breaches`` are counted but not retained.
         self.overflowed_breaches = 0
+        # (op, label_ns) -> histogram, resolved once instead of per command.
+        self._histograms: Dict[Any, Any] = {}
 
     # -- configuration ---------------------------------------------------
 
@@ -105,7 +107,12 @@ class SloTracker:
         # stringified and a namespace-less op (e.g. a delete-only commit)
         # files under the aggregate "all" series.
         label_ns = "all" if namespace is None else str(namespace)
-        self.registry.observe(f"slo.{op}.us", latency_us, namespace=label_ns)
+        cache_key = (op, label_ns)
+        histogram = self._histograms.get(cache_key)
+        if histogram is None:
+            histogram = self.registry.histogram(f"slo.{op}.us", namespace=label_ns)
+            self._histograms[cache_key] = histogram
+        histogram.observe(latency_us)
         for policy in self.policies:
             if not policy.matches(op, namespace):
                 continue

@@ -11,12 +11,28 @@ The kernel revolves around three ideas:
 
 Time is a float in *microseconds* throughout :mod:`repro`; the kernel itself
 is unit-agnostic.
+
+Performance notes (see ``docs/performance.md`` for the full story):
+
+* Events are slotted and their callback list is allocated lazily — most
+  events carry exactly zero or one callback, so the common case does one
+  list allocation at most.
+* The dispatch loops in :meth:`Environment.run` / :meth:`run_until` inline
+  the pop-advance-dispatch sequence with local variable bindings instead of
+  calling :meth:`step` per event.
+* Cancellation is cheap: :meth:`Event.defuse` turns a scheduled event into
+  a guaranteed no-op without touching the heap; the environment compacts
+  the heap only when defused ghosts pile up.
+
+Determinism contract: events are dispatched in exactly ``(time, priority,
+sequence)`` order, where sequence numbers are handed out at schedule time.
+Every optimisation here preserves that order bit-for-bit — the fixed-seed
+digests in ``tests/determinism`` hold across the rewrite.
 """
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
 #: Event priorities.  Lower sorts earlier among events scheduled for the
@@ -24,6 +40,10 @@ from typing import Any, Callable, Generator, List, Optional, Tuple
 #: released resource is re-granted before ordinary timeouts at the same time.
 URGENT = 0
 NORMAL = 1
+
+#: Compact the heap once at least this many defused ghosts are buried in it
+#: (and they outnumber live entries — see :meth:`Environment._compact`).
+_COMPACT_MIN_GHOSTS = 64
 
 
 class SimulationError(Exception):
@@ -37,15 +57,19 @@ class Event:
     an exception) and is scheduled, and *processed* after its callbacks ran.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_exception", "_triggered", "_processed")
+    __slots__ = ("env", "callbacks", "_value", "_exception", "_triggered",
+                 "_processed", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        # Lazily allocated: None means "no callbacks registered yet" while
+        # pending, and "consumed" once processed (see _processed).
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = None
         self._value: Any = None
         self._exception: Optional[BaseException] = None
         self._triggered = False
         self._processed = False
+        self._defused = False
 
     @property
     def triggered(self) -> bool:
@@ -96,11 +120,29 @@ class Event:
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
-        if self.callbacks is None:
+        if self._processed:
             # Already processed: run immediately so late listeners still fire.
             callback(self)
+        elif self.callbacks is None:
+            self.callbacks = [callback]
         else:
             self.callbacks.append(callback)
+
+    def defuse(self) -> None:
+        """Cheaply cancel a scheduled event: drop its listeners and let the
+        heap entry become a no-op instead of deleting it.
+
+        Contract: the caller guarantees nothing will wait on this event
+        afterwards.  The environment counts defused ghosts and compacts the
+        heap when they dominate, so a defused event costs (amortised) O(1).
+        """
+        if self._processed or self._defused:
+            return
+        self.callbacks = None
+        self._defused = True
+        if self._triggered:
+            # It is sitting in the heap; let the environment reclaim it.
+            self.env._note_defused()
 
     def _run_callbacks(self) -> None:
         callbacks, self.callbacks = self.callbacks, None
@@ -135,7 +177,11 @@ class Environment:
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
-        self._eid = count()
+        self._eid = 0
+        self._ndefused = 0
+        #: Total events dispatched over the environment's lifetime (the
+        #: numerator of the ``harness perf`` sim-events/sec metric).
+        self.events_processed = 0
         self.active_process = None  # set by Process while it runs
         #: Optional queue-depth gauge (see :meth:`attach_metrics`).
         self._queue_gauge = None
@@ -166,6 +212,11 @@ class Environment:
     def now(self) -> float:
         """Current simulated time."""
         return self._now
+
+    @property
+    def queue_depth(self) -> int:
+        """Pending heap entries, including not-yet-reclaimed ghosts."""
+        return len(self._queue)
 
     # -- event construction helpers -------------------------------------
 
@@ -222,9 +273,26 @@ class Environment:
     # -- scheduling ------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float, priority: int = NORMAL) -> None:
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        self._eid = eid = self._eid + 1
+        heappush(self._queue, (self._now + delay, priority, eid, event))
         if self._queue_gauge is not None:
             self._queue_gauge.set(len(self._queue))
+
+    def _note_defused(self) -> None:
+        self._ndefused = ghosts = self._ndefused + 1
+        if ghosts >= _COMPACT_MIN_GHOSTS and ghosts * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop defused ghost entries from the heap.
+
+        Removing entries never reorders the survivors — the heap is ordered
+        by the total ``(time, priority, sequence)`` key — and a defused
+        event's dispatch was a guaranteed no-op, so behavior is unchanged.
+        """
+        self._queue = [entry for entry in self._queue if not entry[3]._defused]
+        heapify(self._queue)
+        self._ndefused = 0
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
@@ -234,8 +302,11 @@ class Environment:
         """Process the single next event."""
         if not self._queue:
             raise SimulationError("step() on an empty schedule")
-        when, _priority, _eid, event = heapq.heappop(self._queue)
+        when, _priority, _eid, event = heappop(self._queue)
         self._now = when
+        self.events_processed += 1
+        if event._defused:
+            self._ndefused -= 1
         if self._queue_gauge is not None:
             self._queue_gauge.set(len(self._queue))
         event._run_callbacks()
@@ -246,19 +317,63 @@ class Environment:
         Unlike :meth:`run`, this terminates even when perpetual background
         processes (checkpointers, pollers) keep the schedule non-empty.
         """
-        while not event._processed:
-            if not self._queue:
-                raise SimulationError("run_until: event can never fire (schedule empty)")
-            self.step()
+        # Inlined dispatch loop; see run() for the rationale.
+        queue = self._queue
+        pop = heappop
+        dispatched = 0
+        try:
+            while not event._processed:
+                if not queue:
+                    raise SimulationError(
+                        "run_until: event can never fire (schedule empty)"
+                    )
+                when, _priority, _eid, popped = pop(queue)
+                self._now = when
+                dispatched += 1
+                if popped._defused:
+                    self._ndefused -= 1
+                callbacks, popped.callbacks = popped.callbacks, None
+                popped._processed = True
+                if callbacks:
+                    for callback in callbacks:
+                        callback(popped)
+                if self._queue_gauge is not None:
+                    self._queue_gauge.set(len(queue))
+                if queue is not self._queue:  # compacted mid-flight
+                    queue = self._queue
+        finally:
+            self.events_processed += dispatched
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the schedule drains or simulated time reaches ``until``."""
         if until is not None and until < self._now:
             raise SimulationError(f"run(until={until}) is in the past (now={self._now})")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                self._now = until
-                return
-            self.step()
+        # Hot loop: pop-advance-dispatch with local bindings.  Equivalent to
+        # `while self._queue: self.step()` but without the per-event method
+        # call and attribute traffic.
+        queue = self._queue
+        pop = heappop
+        dispatched = 0
+        try:
+            while queue:
+                if until is not None and queue[0][0] > until:
+                    self._now = until
+                    return
+                when, _priority, _eid, event = pop(queue)
+                self._now = when
+                dispatched += 1
+                if event._defused:
+                    self._ndefused -= 1
+                callbacks, event.callbacks = event.callbacks, None
+                event._processed = True
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                if self._queue_gauge is not None:
+                    self._queue_gauge.set(len(queue))
+                if queue is not self._queue:  # compacted mid-flight
+                    queue = self._queue
+        finally:
+            self.events_processed += dispatched
         if until is not None:
             self._now = until

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from repro.sim.core import Environment, Event, SimulationError
+from repro.sim.core import Environment, Event, SimulationError, Timeout
 
 
 class Interrupt(Exception):
@@ -58,6 +58,11 @@ class Process(Event):
                 waiting_on.callbacks.remove(self._resume)
             except ValueError:
                 pass
+            if not waiting_on.callbacks and isinstance(waiting_on, Timeout):
+                # Nobody else is listening: the timeout would sit in the
+                # heap as a ghost until its deadline.  Defuse it so the
+                # environment can reclaim the entry.
+                waiting_on.defuse()
         self._waiting_on = None
         throw = Event(self.env)
         throw._triggered = True

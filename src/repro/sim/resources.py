@@ -12,15 +12,23 @@ Usage inside a process::
         yield env.timeout(transfer_time)
     finally:
         bus.release(request)
+
+Cancelled requests are counted rather than scanned: ``queue_length`` is
+O(1), and the wait heap is compacted when cancelled ghosts outnumber live
+waiters, so a timeout-heavy workload cannot inflate the queue (or the
+events/sec metric) with leaked entries.
 """
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
+from heapq import heapify, heappop, heappush
 from typing import List, Tuple
 
 from repro.sim.core import URGENT, Environment, Event, SimulationError
+
+#: Compact a resource's wait heap once this many cancelled ghosts are in it
+#: (and they outnumber live waiters).
+_COMPACT_MIN_CANCELLED = 16
 
 
 class Request(Event):
@@ -42,11 +50,16 @@ class Request(Event):
         """Withdraw a not-yet-granted request (e.g. when a waiter times out)."""
         if self.triggered:
             raise SimulationError("cannot cancel a granted request; release it")
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            self.resource._note_cancelled()
 
 
 class Resource:
     """A counted resource with a FIFO (priority-aware) wait queue."""
+
+    __slots__ = ("env", "capacity", "name", "_in_use", "_ticket", "_waiting",
+                 "_ncancelled")
 
     def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
         if capacity < 1:
@@ -55,8 +68,9 @@ class Resource:
         self.capacity = capacity
         self.name = name
         self._in_use = 0
-        self._ticket = count()
+        self._ticket = 0
         self._waiting: List[Tuple[int, int, Request]] = []
+        self._ncancelled = 0
 
     @property
     def in_use(self) -> int:
@@ -64,7 +78,7 @@ class Resource:
 
     @property
     def queue_length(self) -> int:
-        return sum(1 for _, _, request in self._waiting if not request.cancelled)
+        return len(self._waiting) - self._ncancelled
 
     @property
     def available(self) -> int:
@@ -77,7 +91,8 @@ class Resource:
             self._in_use += 1
             request.succeed(request, priority=URGENT)
         else:
-            heapq.heappush(self._waiting, (priority, next(self._ticket), request))
+            self._ticket = ticket = self._ticket + 1
+            heappush(self._waiting, (priority, ticket, request))
         return request
 
     def release(self, request: Request) -> None:
@@ -91,10 +106,21 @@ class Resource:
             raise SimulationError(f"resource {self.name!r} over-released")
         self._grant_next()
 
+    def _note_cancelled(self) -> None:
+        self._ncancelled = ghosts = self._ncancelled + 1
+        if ghosts >= _COMPACT_MIN_CANCELLED and ghosts * 2 > len(self._waiting):
+            # Dropping cancelled entries never reorders survivors: the heap
+            # is totally ordered by (priority, ticket).
+            self._waiting = [e for e in self._waiting if not e[2].cancelled]
+            heapify(self._waiting)
+            self._ncancelled = 0
+
     def _grant_next(self) -> None:
-        while self._waiting and self._in_use < self.capacity:
-            _priority, _ticket, request = heapq.heappop(self._waiting)
+        waiting = self._waiting
+        while waiting and self._in_use < self.capacity:
+            _priority, _ticket, request = heappop(waiting)
             if request.cancelled:
+                self._ncancelled -= 1
                 continue
             self._in_use += 1
             request.succeed(request, priority=URGENT)

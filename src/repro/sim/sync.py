@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional
 
+from repro import sanitize
 from repro.sim.core import Environment, Event, SimulationError
 from repro.sim.resources import Request, Resource
 
@@ -38,8 +39,6 @@ class SimLock:
         return self._resource.queue_length
 
     def acquire(self, owner: Any = None) -> Event:
-        from repro import sanitize
-
         recorder = None
         acquirer = None
         if sanitize.enabled():
@@ -68,8 +67,6 @@ class SimLock:
         request, self._held_request = self._held_request, None
         self.holder = None
         holder_process, self._holder_process = self._holder_process, None
-        from repro import sanitize
-
         if sanitize.enabled():
             sanitize.recorder_for(self.env).on_release(
                 holder_process, self.name or "simlock"
@@ -97,6 +94,17 @@ class Gate:
         event = self.env.event()
         self._waiters.append(event)
         return event
+
+    def forget(self, event: Event) -> None:
+        """Withdraw a waiter that no longer cares (e.g. it timed out).
+
+        Without this, the next :meth:`fire` still succeeds the abandoned
+        event, scheduling a ghost wakeup nobody listens to.
+        """
+        try:
+            self._waiters.remove(event)
+        except ValueError:
+            pass
 
     def fire(self, value: Any = None) -> int:
         """Wake all current waiters; returns how many were woken."""

@@ -19,9 +19,25 @@ class FirmwarePool:
         self.env = env
         self._pool = Resource(env, capacity=contexts, name="firmware")
         self.busy_us = 0.0
-        #: Optional :class:`~repro.obs.MetricsRegistry` set by the stack
-        #: root; records context-wait latency and run-queue depth.
-        self.metrics = None
+        self._metrics = None
+        self._wait_us_histogram = None
+        self._queue_depth_gauge = None
+
+    @property
+    def metrics(self):
+        """Optional :class:`~repro.obs.MetricsRegistry` set by the stack
+        root; records context-wait latency and run-queue depth."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        self._metrics = registry
+        if registry is not None:
+            self._wait_us_histogram = registry.histogram("kaml.firmware.wait_us")
+            self._queue_depth_gauge = registry.gauge("kaml.firmware.queue_depth")
+        else:
+            self._wait_us_histogram = None
+            self._queue_depth_gauge = None
 
     @property
     def contexts(self) -> int:
@@ -34,11 +50,9 @@ class FirmwarePool:
         queued = self.env.now
         request = self._pool.request()
         yield request
-        if self.metrics is not None:
-            self.metrics.observe("kaml.firmware.wait_us", self.env.now - queued)
-            self.metrics.gauge("kaml.firmware.queue_depth").set(
-                self._pool.queue_length
-            )
+        if self._wait_us_histogram is not None:
+            self._wait_us_histogram.observe(self.env.now - queued)
+            self._queue_depth_gauge.set(self._pool.queue_length)
         try:
             started = self.env.now
             yield self.env.timeout(cost_us)

@@ -1,7 +1,12 @@
 """Workloads from the paper's evaluation (Section V): microbenchmarks,
 TPC-B, a TPC-C subset (NewOrder + Payment), and YCSB A/B/C/D/F."""
 
-from repro.workloads.keydist import UniformChooser, ZipfianChooser, LatestChooser
+from repro.workloads.keydist import (
+    AliasZipfianChooser,
+    LatestChooser,
+    UniformChooser,
+    ZipfianChooser,
+)
 from repro.workloads.adapters import KamlAdapter, ShoreAdapter
 from repro.workloads.micro import (
     MicroResult,
@@ -19,6 +24,7 @@ from repro.workloads.ycsb import Ycsb, YCSB_MIXES
 from repro.workloads.trace import Trace, TraceOp, replay, sequential_fill, synthesize
 
 __all__ = [
+    "AliasZipfianChooser",
     "UniformChooser",
     "ZipfianChooser",
     "LatestChooser",

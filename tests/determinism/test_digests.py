@@ -1,0 +1,124 @@
+"""Fixed-seed result digests across the scheduler rewrite.
+
+Each scenario runs a miniature but fully representative workload with a
+pinned seed and hashes the *results* (figure rows, crash verdicts,
+simulated clock) into a SHA-256 digest.  The expected values were
+captured on the pre-rewrite tuple-heap kernel; the rewritten scheduler
+must reproduce them bit-for-bit — same seeds, same results.
+
+If a digest changes, the simulation's behavior changed.  That is only
+acceptable for a deliberate semantic change (a new timing model, a
+protocol fix); re-pin with::
+
+    PYTHONPATH=src python -m tests.determinism.test_digests
+
+and say why in the commit message.  A kernel/scheduler/observability
+"optimization" that shifts a digest is a bug in the optimization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict
+
+from repro.fault.harness import pick_hit, run_scenario
+from repro.fault.plan import FaultPlan
+from repro.harness import experiments
+
+
+def _canonical(value: Any) -> Any:
+    """JSON-stable form: floats via repr (full precision), tuples->lists."""
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    return value
+
+
+def digest(payload: Any) -> str:
+    text = json.dumps(_canonical(payload), sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Scenarios.  Keep them small: the whole module must stay in tier-1
+# budget, and every scenario must exercise the full stack (kernel,
+# resources, logs, GC, NVRAM, cache) rather than a toy subset.
+# ----------------------------------------------------------------------
+
+
+def fig5_mini() -> Dict[str, Any]:
+    result = experiments.fig5_bandwidth(
+        value_sizes=(512, 2048),
+        load_factors=(0.1, 0.7),
+        threads=4,
+        ops_per_thread=8,
+    )
+    return {"rows": result["rows"], "metrics": result["metrics"]}
+
+
+def fig10_mini() -> Dict[str, Any]:
+    result = experiments.fig10_ycsb(
+        workloads=("a", "c"),
+        records=300,
+        threads=4,
+        ops_per_thread=10,
+        seed=11,
+    )
+    return {"rows": result["rows"], "metrics": result["metrics"]}
+
+
+def crash_scenario() -> Dict[str, Any]:
+    seed = 3
+    counting = run_scenario(FaultPlan(), seed=seed, ops_per_writer=40)
+    point = "put.before_install"
+    available = counting["hits"].get(point, 0)
+    armed = run_scenario(
+        FaultPlan(point=point, hit=pick_hit(seed, point, max(1, available))),
+        seed=seed,
+        ops_per_writer=40,
+    )
+    keep = (
+        "ok", "failures", "seed", "point", "hit", "crashed", "fired",
+        "hits", "ops", "acked_ops", "in_flight_ops", "recovered_batches",
+        "scanned_pages", "scanned_records", "sim_time_us",
+    )
+    return {
+        "counting": {k: counting[k] for k in keep},
+        "armed": {k: armed[k] for k in keep},
+    }
+
+
+SCENARIOS = {
+    "fig5_mini": fig5_mini,
+    "fig10_mini": fig10_mini,
+    "crash_scenario": crash_scenario,
+}
+
+#: Captured on the pre-rewrite kernel (commit ad2ae2b lineage); see
+#: module docstring before touching these.
+EXPECTED = {
+    "fig5_mini": "af7d64f5fcad938e8f0d518189165ff7330b0ffefebfa9f3f0173761e177b3a9",
+    "fig10_mini": "7cfa5dc94e7349e555aaffc0f28db0de8a9695cec3e04e6a13d33efff3a1138f",
+    "crash_scenario": "07b171a9e9b2658410fbb7dcdc48038cc47bf254de16613fc9ab7c1f8a66bce4",
+}
+
+
+def test_fig5_mini_digest():
+    assert digest(fig5_mini()) == EXPECTED["fig5_mini"]
+
+
+def test_fig10_mini_digest():
+    assert digest(fig10_mini()) == EXPECTED["fig10_mini"]
+
+
+def test_crash_scenario_digest():
+    assert digest(crash_scenario()) == EXPECTED["crash_scenario"]
+
+
+if __name__ == "__main__":
+    for name, scenario in SCENARIOS.items():
+        print(f'    "{name}": "{digest(scenario())}",')

@@ -7,8 +7,10 @@ import pytest
 from repro.harness.baseline import (
     DEFAULT_TOLERANCE,
     build_baseline,
+    build_perf_section,
     compare,
     main,
+    markdown_summary,
 )
 
 
@@ -127,6 +129,120 @@ def test_cli_pass_fail_and_rebaseline(fig5_result, tmp_path, capsys):
     assert "make rebaseline" in err
 
 
+@pytest.fixture
+def perf_artifact():
+    return {
+        "benchmark": "perf",
+        "workloads": {
+            "kernel": {
+                "workload": "kernel", "ops": 25600, "sim_events": 76929,
+                "events_per_op": 3.0, "wall_s": 0.2,
+                "events_per_sec": 400000.0, "ops_per_sec": 128000.0,
+            },
+            "mixed": {
+                "workload": "mixed", "ops": 2000, "sim_events": 26657,
+                "events_per_op": 13.3, "wall_s": 0.3,
+                "events_per_sec": 90000.0, "ops_per_sec": 6700.0,
+            },
+        },
+    }
+
+
+def test_build_baseline_merges_perf_section(fig5_result, perf_artifact):
+    baseline = build_baseline(fig5_result, perf_artifact)
+    perf = baseline["perf"]
+    assert perf["tolerance"] == DEFAULT_TOLERANCE
+    assert perf["workloads"]["kernel"]["sim_events"] == 76929.0
+    assert perf["workloads"]["mixed"]["events_per_sec"] == 90000.0
+    # Only the gated fields are pinned, not the whole artifact row.
+    assert "wall_s" not in perf["workloads"]["kernel"]
+
+
+def test_perf_throughput_drop_fails(fig5_result, perf_artifact):
+    baseline = build_baseline(fig5_result, perf_artifact)
+    current = build_baseline(fig5_result, perf_artifact)
+    current["perf"]["workloads"]["kernel"]["events_per_sec"] = 300000.0  # -25%
+    failures, _report = compare(current, baseline)
+    assert any("kernel/events_per_sec" in f for f in failures)
+
+
+def test_perf_event_bloat_fails(fig5_result, perf_artifact):
+    baseline = build_baseline(fig5_result, perf_artifact)
+    current = build_baseline(fig5_result, perf_artifact)
+    # 30% more sim events for the same work: scheduler overhead crept in.
+    current["perf"]["workloads"]["mixed"]["sim_events"] = 26657 * 1.3
+    failures, _report = compare(current, baseline)
+    assert any("mixed/sim_events" in f for f in failures)
+
+
+def test_perf_event_reduction_is_not_a_regression(fig5_result, perf_artifact):
+    baseline = build_baseline(fig5_result, perf_artifact)
+    current = build_baseline(fig5_result, perf_artifact)
+    current["perf"]["workloads"]["mixed"]["sim_events"] = 20000.0
+    assert compare(current, baseline)[0] == []
+
+
+def test_perf_wall_tolerance_loosens_only_wall_metrics(fig5_result, perf_artifact):
+    baseline = build_baseline(fig5_result, perf_artifact)
+    current = build_baseline(fig5_result, perf_artifact)
+    current["perf"]["workloads"]["kernel"]["events_per_sec"] = 300000.0  # -25%
+    current["perf"]["workloads"]["mixed"]["sim_events"] = 26657 * 1.3   # +30%
+    failures, _report = compare(current, baseline, wall_tolerance=0.5)
+    # The wall-clock drop is inside the loose bound; deterministic event
+    # bloat still fails at the strict tolerance.
+    assert not any("events_per_sec" in f for f in failures)
+    assert any("mixed/sim_events" in f for f in failures)
+
+
+def test_perf_missing_workload_fails(fig5_result, perf_artifact):
+    baseline = build_baseline(fig5_result, perf_artifact)
+    current = build_baseline(fig5_result, perf_artifact)
+    del current["perf"]["workloads"]["mixed"]
+    failures, _report = compare(current, baseline)
+    assert any("missing" in f for f in failures)
+
+
+def test_markdown_summary_includes_perf_rows(fig5_result, perf_artifact):
+    baseline = build_baseline(fig5_result, perf_artifact)
+    summary = markdown_summary(baseline, baseline)
+    assert "perf: kernel/events_per_sec" in summary
+    assert "perf: mixed/sim_events" in summary
+    assert "FAIL" not in summary
+
+
+def test_cli_merges_perf_artifact_on_rebaseline(
+    fig5_result, perf_artifact, tmp_path, capsys
+):
+    artifact = tmp_path / "artifact.json"
+    perf_path = tmp_path / "perf.json"
+    baseline_path = tmp_path / "baseline.json"
+    artifact.write_text(json.dumps(fig5_result))
+    perf_path.write_text(json.dumps(perf_artifact))
+
+    assert main([
+        "--artifact", str(artifact), "--baseline", str(baseline_path),
+        "--perf-artifact", str(perf_path), "--rebaseline",
+    ]) == 0
+    written = json.loads(baseline_path.read_text())
+    assert written["perf"]["workloads"]["kernel"]["sim_events"] == 76929.0
+
+    # Gate passes against itself, including the perf section.
+    assert main([
+        "--artifact", str(artifact), "--baseline", str(baseline_path),
+        "--perf-artifact", str(perf_path),
+    ]) == 0
+    assert "perf gate passed" in capsys.readouterr().out
+
+    # A slower perf artifact trips the gate.
+    slow = json.loads(json.dumps(perf_artifact))
+    slow["workloads"]["kernel"]["events_per_sec"] = 100000.0
+    perf_path.write_text(json.dumps(slow))
+    assert main([
+        "--artifact", str(artifact), "--baseline", str(baseline_path),
+        "--perf-artifact", str(perf_path),
+    ]) == 1
+
+
 def test_checked_in_baseline_is_valid():
     """benchmarks/baseline.json must stay loadable and self-consistent."""
     import pathlib
@@ -137,5 +253,10 @@ def test_checked_in_baseline_is_valid():
     assert baseline["bandwidth_mb_s"], "baseline pins no bandwidth metrics"
     assert baseline["latency_p99_us"], "baseline pins no latency metrics"
     assert all(v > 0 for v in baseline["bandwidth_mb_s"].values())
+    perf = baseline.get("perf", {})
+    assert perf.get("workloads"), "baseline pins no perf workloads"
+    for row in perf["workloads"].values():
+        assert row["sim_events"] > 0
+        assert row["events_per_sec"] > 0
     failures, _ = compare(baseline, baseline)
     assert failures == []

@@ -154,17 +154,33 @@ def test_trace_ids_are_distinct_and_spans_globally_unique(tracer):
 
 
 def test_null_context_is_inert():
-    assert NULL_CONTEXT.begin("x") is None
-    NULL_CONTEXT.finish(None)
-    NULL_CONTEXT.detach(None)
+    from repro.obs.trace import NULL_SPAN
+
+    span = NULL_CONTEXT.begin("x")
+    assert span is NULL_SPAN
+    span.tags["key"] = "value"  # writes vanish; hot paths never branch
+    assert "key" not in span.tags
+    assert span.duration_us == 0.0
+    NULL_CONTEXT.finish(span)
+    NULL_CONTEXT.detach(span)
     NULL_CONTEXT.record_span("x", start_us=0.0)
     NULL_CONTEXT.event("x")
     NULL_CONTEXT.close()
-    with NULL_CONTEXT.span("x"):
-        pass
+    with NULL_CONTEXT.span("x") as inner:
+        inner.tags["k"] = 1
     tracer = NullTracer()
     assert tracer.request("op") is NULL_CONTEXT
     assert tracer.summary()["traces"] == 0
+
+
+def test_disarmed_tracer_requests_are_free(clock):
+    tracer = Tracer(clock=clock)
+    tracer.enabled = False
+    ctx = tracer.request("op")
+    assert ctx is NULL_CONTEXT
+    assert tracer.recorder.recorded == 0
+    tracer.enabled = True
+    assert tracer.request("op") is not NULL_CONTEXT
 
 
 # ---------------------------------------------------------------------------

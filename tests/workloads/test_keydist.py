@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.workloads import LatestChooser, UniformChooser, ZipfianChooser
+from repro.workloads import (
+    AliasZipfianChooser,
+    LatestChooser,
+    UniformChooser,
+    ZipfianChooser,
+)
+from repro.workloads.keydist import _zeta_cached
 
 
 def test_uniform_covers_space():
@@ -59,6 +65,88 @@ def test_zipfian_unscrambled_prefers_low_ranks():
     chooser = ZipfianChooser(1000, seed=5, scrambled=False)
     low = sum(1 for _ in range(10000) if chooser.next_key() < 10)
     assert low > 2000  # rank-0..9 get a large share
+
+
+def _zipf_probabilities(n, theta):
+    zetan = sum(1.0 / (i ** theta) for i in range(1, n + 1))
+    return [1.0 / ((rank + 1) ** theta) / zetan for rank in range(n)]
+
+
+def _rank_chi_squared(chooser, n, theta, draws, head=19):
+    """Chi-squared statistic of observed ranks vs the zipfian pmf.
+
+    Bins: the ``head`` hottest ranks individually plus one tail bucket,
+    so every expected count is comfortably above 5.
+    """
+    probs = _zipf_probabilities(n, theta)
+    counts = [0] * n
+    for _ in range(draws):
+        counts[chooser.next_key()] += 1
+    expected = [p * draws for p in probs[:head]] + [sum(probs[head:]) * draws]
+    observed = counts[:head] + [sum(counts[head:])]
+    return sum(
+        (o - e) ** 2 / e for o, e in zip(observed, expected)
+    )
+
+
+# chi-squared critical value at p=0.001 for df=19 (20 bins - 1).
+_CHI2_CRIT_DF19_P999 = 43.82
+
+
+def test_alias_zipfian_matches_distribution_chi_squared():
+    n, theta, draws = 200, 0.99, 40000
+    chooser = AliasZipfianChooser(n, seed=17, scrambled=False)
+    stat = _rank_chi_squared(chooser, n, theta, draws)
+    assert stat < _CHI2_CRIT_DF19_P999
+
+
+def test_alias_and_gray_agree_on_head_mass():
+    # The Gray method inverts a continuous approximation of the CDF, so
+    # it carries a small per-rank bias the exact alias table does not —
+    # it cannot pass the strict chi-squared above at this n.  The share
+    # of traffic on the hot head, which is what the YCSB workloads model,
+    # does agree between the two generators.
+    n, draws = 200, 40000
+    def head_share(chooser):
+        hits = sum(1 for _ in range(draws) if chooser.next_key() < 10)
+        return hits / draws
+    gray = head_share(ZipfianChooser(n, seed=17, scrambled=False))
+    alias = head_share(AliasZipfianChooser(n, seed=17, scrambled=False))
+    assert abs(gray - alias) < 0.03
+
+
+def test_alias_zipfian_in_range_and_deterministic():
+    a = [AliasZipfianChooser(500, seed=3).next_key() for _ in range(2000)]
+    b = [AliasZipfianChooser(500, seed=3).next_key() for _ in range(2000)]
+    assert a == b
+    assert all(0 <= key < 500 for key in a)
+
+
+def test_alias_zipfian_scrambling_matches_gray():
+    assert (
+        AliasZipfianChooser(1000, seed=1).hottest_keys(8)
+        == ZipfianChooser(1000, seed=1).hottest_keys(8)
+    )
+
+
+def test_alias_zipfian_rejects_empty():
+    with pytest.raises(ValueError):
+        AliasZipfianChooser(0)
+
+
+def test_alias_table_is_well_formed():
+    chooser = AliasZipfianChooser(64, seed=1, scrambled=False)
+    assert len(chooser._prob) == 64 and len(chooser._alias) == 64
+    assert all(0.0 <= p <= 1.0 + 1e-9 for p in chooser._prob)
+    assert all(0 <= a < 64 for a in chooser._alias)
+
+
+def test_zeta_cache_extension_is_bit_identical():
+    theta = 0.99
+    fresh = sum(1.0 / (i ** theta) for i in range(1, 301))
+    _zeta_cached(100, theta)  # seed the prefix cache
+    assert _zeta_cached(300, theta) == fresh
+    assert _zeta_cached(300, theta) == fresh  # exact-hit path
 
 
 def test_latest_prefers_recent():
