@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-sanitized lint kamllint lint-deep format bench-smoke bench-perf perf-gate rebaseline obs-demo crash-matrix
+.PHONY: test test-sanitized lint kamllint lint-deep format bench-smoke bench-perf prof perf-gate rebaseline obs-demo crash-matrix
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -38,14 +38,25 @@ bench-perf:
 	mkdir -p benchmarks/artifacts
 	$(PYTHON) -m repro.harness perf --json benchmarks/artifacts/perf.json
 
-# Compare the freshest smoke-bench + perf artifacts against baseline.json.
+# kamlprof: critical-path latency breakdown + flamegraph + device
+# telemetry for the canonical workload.  The JSON report's component
+# fractions feed the perf gate's bottleneck-shift check.
+prof:
+	mkdir -p benchmarks/artifacts
+	$(PYTHON) -m repro.harness prof --workload ycsb-b \
+		--json-out benchmarks/artifacts/prof.json \
+		--flame-out benchmarks/artifacts/prof.folded \
+		--timeseries-out benchmarks/artifacts/timeseries.json
+
+# Compare the freshest smoke-bench + perf + prof artifacts against
+# baseline.json.
 perf-gate:
 	$(PYTHON) benchmarks/compare_baseline.py
 
 # Refresh the checked-in baseline after an *intentional* performance shift:
-# re-runs the smoke bench and the throughput benchmark, rewrites
-# baseline.json with every gated metric, and you commit the result.
-rebaseline: bench-smoke bench-perf
+# re-runs the smoke bench, the throughput benchmark, and the profiler,
+# rewrites baseline.json with every gated metric, and you commit the result.
+rebaseline: bench-smoke bench-perf prof
 	$(PYTHON) benchmarks/compare_baseline.py --rebaseline
 
 # Power-loss crash-consistency matrix: every crash point x 3 seeds, with

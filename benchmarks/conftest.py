@@ -4,7 +4,8 @@ Each benchmark runs its experiment exactly once (the workload is a
 deterministic simulation; repeating it measures Python, not the system),
 prints the paper-style table through pytest's terminal reporter so it
 survives output capture (and lands in ``bench_output.txt``), and appends
-it to ``benchmarks/results.txt``.
+it to ``benchmarks/results.txt`` — a local run artifact, gitignored and
+rewritten from scratch at each benchmark session.
 """
 
 import pathlib

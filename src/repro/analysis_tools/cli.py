@@ -33,6 +33,7 @@ RULES = {
     "KL-SIM001": "sim processes (generators) must not call host I/O",
     "KL-INV001": "no assert guards; raise repro.errors.InvariantError",
     "KL-FLT001": "fault-injection code must not read mapping-table state",
+    "KL-OBS001": "span names and component= tags must be in the kamlprof taxonomy",
 }
 
 

@@ -126,6 +126,7 @@ def run_lint(
         determinism,
         faultrules,
         locks,
+        obsrules,
         simproc,
     )
 

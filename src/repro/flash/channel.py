@@ -7,6 +7,7 @@ from typing import Any, List
 from repro.config import FlashGeometry, FlashTimings
 from repro.flash.chip import FlashChip
 from repro.flash.errors import AddressError
+from repro.obs.trace import NULL_CONTEXT
 from repro.sim import Environment, Resource
 
 
@@ -48,30 +49,51 @@ class FlashChannel:
     def transfer_time(self, nbytes: int) -> float:
         return self._bus_command_us + nbytes / self._bus_bytes_per_us
 
-    def transfer(self, nbytes: int) -> Any:
-        """Occupy the bus long enough to move ``nbytes``."""
+    def transfer(self, nbytes: int, ctx=NULL_CONTEXT, parent=None) -> Any:
+        """Occupy the bus long enough to move ``nbytes``.
+
+        With a trace context, arbitration time is recorded as a
+        ``bus.wait`` span (only when non-zero — uncontended transfers
+        stay span-free) and the occupancy itself as ``bus.transfer``.
+        Spans are pure bookkeeping: no extra simulation events.
+        """
+        queued = self.env.now
         request = self.bus.request()
         yield request
+        granted = self.env.now
+        if granted > queued:
+            ctx.record_span(
+                "bus.wait", start_us=queued, end_us=granted,
+                parent=parent, channel=self.index,
+            )
         try:
             started = self.env.now
             yield self.env.timeout(self.transfer_time(nbytes))
             self.bus_busy_us += self.env.now - started
+            ctx.record_span(
+                "bus.transfer", start_us=started, parent=parent,
+                channel=self.index, bytes=nbytes,
+            )
         finally:
             self.bus.release(request)
 
     # -- whole commands ----------------------------------------------------
 
     def read_page(self, chip_index: int, block_index: int, page_index: int,
-                  transfer_bytes: int = None) -> Any:
+                  transfer_bytes: int = None, ctx=NULL_CONTEXT,
+                  parent=None) -> Any:
         """Cell read on the chip, then bus transfer toward the controller."""
         chip = self.chip(chip_index)
-        result = yield from chip.read_cells(block_index, page_index)
+        result = yield from chip.read_cells(
+            block_index, page_index, ctx=ctx, parent=parent
+        )
         nbytes = self.geometry.page_size if transfer_bytes is None else transfer_bytes
-        yield from self.transfer(nbytes)
+        yield from self.transfer(nbytes, ctx=ctx, parent=parent)
         return result
 
     def program_page(self, chip_index: int, block_index: int, page_index: int,
-                     data: Any, oob: Any = None) -> Any:
+                     data: Any, oob: Any = None, ctx=NULL_CONTEXT,
+                     parent=None) -> Any:
         """Bus transfer toward the chip, then the program operation.
 
         The bus is released before the (long) program phase, letting other
@@ -83,11 +105,13 @@ class FlashChannel:
         # the pipeline: if power dies during the bus transfer, the program
         # must not touch the cells afterwards.
         generation = chip.generation
-        yield from self.transfer(self.geometry.page_size)
+        yield from self.transfer(self.geometry.page_size, ctx=ctx, parent=parent)
         yield from chip.program_cells(
-            block_index, page_index, data, oob, generation=generation
+            block_index, page_index, data, oob, generation=generation,
+            ctx=ctx, parent=parent,
         )
 
-    def erase_block(self, chip_index: int, block_index: int) -> Any:
+    def erase_block(self, chip_index: int, block_index: int,
+                    ctx=NULL_CONTEXT, parent=None) -> Any:
         chip = self.chip(chip_index)
-        yield from chip.erase(block_index)
+        yield from chip.erase(block_index, ctx=ctx, parent=parent)

@@ -7,6 +7,7 @@ from typing import Any
 from repro.config import FlashGeometry, FlashTimings
 from repro.flash.block import FlashBlock
 from repro.flash.errors import AddressError, EraseFailure, ProgramFailure
+from repro.obs.trace import NULL_CONTEXT
 from repro.sim import Environment, Resource
 
 
@@ -69,23 +70,37 @@ class FlashChip:
 
     # -- timed operations (drive with ``yield from``) ---------------------
 
-    def read_cells(self, block_index: int, page_index: int) -> Any:
-        """Cell array -> page register.  Holds the chip engine for t_R."""
+    def read_cells(self, block_index: int, page_index: int,
+                   ctx=NULL_CONTEXT, parent=None) -> Any:
+        """Cell array -> page register.  Holds the chip engine for t_R.
+
+        With a trace context, engine arbitration is recorded as a
+        ``nand.wait`` span (contended dies only) and the read pulse as
+        ``nand.read`` — spans are bookkeeping, never simulation events.
+        """
         block = self.block(block_index)
+        queued = self.env.now
         request = self.engine.request()
         yield request
+        if self.env.now > queued:
+            ctx.record_span(
+                "nand.wait", start_us=queued, parent=parent, chip=self.name
+            )
         try:
             started = self.env.now
             yield self.env.timeout(self._read_us)
             self.stats.reads += 1
             self.stats.busy_us += self.env.now - started
+            ctx.record_span(
+                "nand.read", start_us=started, parent=parent, chip=self.name
+            )
             return block.read(page_index)
         finally:
             self.engine.release(request)
 
     def program_cells(
         self, block_index: int, page_index: int, data: Any, oob: Any,
-        generation: Any = None,
+        generation: Any = None, ctx=NULL_CONTEXT, parent=None,
     ) -> Any:
         """Page register -> cell array.  Holds the chip engine for t_PROG.
 
@@ -99,8 +114,13 @@ class FlashChip:
         block = self.block(block_index)
         if generation is None:
             generation = self.generation
+        queued = self.env.now
         request = self.engine.request()
         yield request
+        if self.env.now > queued:
+            ctx.record_span(
+                "nand.wait", start_us=queued, parent=parent, chip=self.name
+            )
         try:
             if generation != self.generation:
                 return None  # power was cut while queued; nothing reached the cells
@@ -113,6 +133,10 @@ class FlashChip:
                 yield self.env.timeout(self._program_us)
                 self.stats.programs += 1
                 self.stats.busy_us += self.env.now - started
+                ctx.record_span(
+                    "nand.program", start_us=started, parent=parent,
+                    chip=self.name, failed=True,
+                )
                 raise ProgramFailure(
                     f"{self.name}: program verify failed at block "
                     f"{block_index} page {page_index}"
@@ -122,20 +146,31 @@ class FlashChip:
             yield self.env.timeout(self._program_us)
             self.stats.programs += 1
             self.stats.busy_us += self.env.now - started
+            ctx.record_span(
+                "nand.program", start_us=started, parent=parent, chip=self.name
+            )
         finally:
             self.engine.release(request)
 
-    def erase(self, block_index: int) -> Any:
+    def erase(self, block_index: int, ctx=NULL_CONTEXT, parent=None) -> Any:
         """Erase a whole block.  Holds the chip engine for t_BERS."""
         block = self.block(block_index)
         generation = self.generation
+        queued = self.env.now
         request = self.engine.request()
         yield request
+        if self.env.now > queued:
+            ctx.record_span(
+                "nand.wait", start_us=queued, parent=parent, chip=self.name
+            )
         try:
             started = self.env.now
             yield self.env.timeout(self._erase_us)
             self.stats.erases += 1
             self.stats.busy_us += self.env.now - started
+            ctx.record_span(
+                "nand.erase", start_us=started, parent=parent, chip=self.name
+            )
             if generation != self.generation:
                 return None  # power was cut mid-pulse; the cells kept their charge
             if self.fault_hook is not None and self.fault_hook("erase", block_index, None):

@@ -24,6 +24,24 @@ class LockTable:
         #: the instance name so per-key orders remain distinguishable.
         self.static_site = static_site or f"LockTable.{name}"
         self._locks: Dict[Hashable, SimLock] = {}
+        self._metrics = None
+        self._wait_us_histogram = None
+
+    @property
+    def metrics(self):
+        """Optional :class:`~repro.obs.MetricsRegistry` set by the owner;
+        records contended-acquire wait time per table."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        self._metrics = registry
+        if registry is None:
+            self._wait_us_histogram = None
+        else:
+            self._wait_us_histogram = registry.histogram(
+                "locktable.wait_us", table=self.name
+            )
 
     def __len__(self) -> int:
         return len(self._locks)
@@ -42,7 +60,10 @@ class LockTable:
                 static_site=self.static_site,
             )
             self._locks[key] = lock
+        queued = self.env.now
         yield lock.acquire(owner)
+        if self._wait_us_histogram is not None and self.env.now > queued:
+            self._wait_us_histogram.observe(self.env.now - queued)
 
     def release(self, key: Hashable) -> None:
         lock = self._locks.get(key)

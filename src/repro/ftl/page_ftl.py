@@ -137,6 +137,7 @@ class PageFtl:
         self._page_locks = LockTable(
             env, name="ftl.lpn", static_site="PageFtl._page_locks"
         )
+        self._page_locks.metrics = self.metrics
         self._targets: List[_Target] = []
         for channel, chip in array.iter_targets():
             target = _Target(channel=channel, chip=chip, space_gate=Gate(env))
@@ -185,10 +186,13 @@ class PageFtl:
             if location is None:
                 return None
             pointer, slot = location
-            with ctx.span("ftl.flash_read", parent=ctx.root):
+            read_span = ctx.begin("ftl.flash_read", parent=ctx.root)
+            try:
                 data, oob = yield from self.array.read_page(
-                    pointer, transfer_bytes=nbytes
+                    pointer, transfer_bytes=nbytes, ctx=ctx, parent=read_span
                 )
+            finally:
+                ctx.finish(read_span)
             return data[slot]
         finally:
             self._page_locks.release(lpn)
@@ -449,7 +453,9 @@ class PageFtl:
                 pointer = PagePointer(target.channel, target.chip, block_index, 0)
                 erase_span = ctx.begin("gc.erase", parent=ctx.root, block=block_index)
                 try:
-                    yield from self.array.erase_block(pointer)
+                    yield from self.array.erase_block(
+                        pointer, ctx=ctx, parent=erase_span
+                    )
                 except WearOutError:
                     # Endurance exceeded: retire the block (capacity loss).
                     self.metrics.counter("ftl.retired_blocks").inc()

@@ -9,6 +9,7 @@ Regenerate any figure of the paper from a shell::
     python -m repro.harness obs --ops 200 --slo-put-us 150   # obs driver
     python -m repro.harness crash --matrix                   # crash matrix
     python -m repro.harness perf --json perf.json            # sim throughput
+    python -m repro.harness prof --workload ycsb-b           # latency profiler
 """
 
 from __future__ import annotations
@@ -53,6 +54,10 @@ def main(argv=None) -> int:
         from repro.harness import perf_cli
 
         return perf_cli.main(argv[1:])
+    if argv and argv[0] == "prof":
+        from repro.harness import prof_cli
+
+        return prof_cli.main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -80,6 +85,7 @@ def main(argv=None) -> int:
         print(f"{'obs':10} observability driver (tracing/SLO dashboard)")
         print(f"{'crash':10} crash-consistency matrix (see 'crash --help')")
         print(f"{'perf':10} simulator throughput benchmark (see 'perf --help')")
+        print(f"{'prof':10} latency-attribution profiler (see 'prof --help')")
         return 0
 
     names = list(EXPERIMENTS) if "all" in args.figures else args.figures

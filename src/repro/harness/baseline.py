@@ -31,6 +31,13 @@ from typing import Any, Dict, List, Optional, Tuple
 #: Default relative tolerance: a metric may degrade by up to 15%.
 DEFAULT_TOLERANCE = 0.15
 
+#: Absolute tolerance (in fraction points) for kamlprof component
+#: fractions: a component's share of request latency may move by up to
+#: 10 percentage points before the gate calls it a bottleneck shift.
+#: Absolute, not relative — a component going 0.5% -> 1.5% is noise, a
+#: component going 20% -> 35% is the device's behavior changing.
+BREAKDOWN_TOLERANCE_PP = 0.10
+
 
 #: Per-workload perf metrics carried in the baseline:
 #: ``(field, lower_is_regression, is_wall_clock)``.  Throughput drops
@@ -56,8 +63,28 @@ def build_perf_section(perf_artifact: Dict[str, Any]) -> Dict[str, Any]:
     return {"tolerance": DEFAULT_TOLERANCE, "workloads": workloads}
 
 
+def build_breakdown_section(prof_artifact: Dict[str, Any]) -> Dict[str, Any]:
+    """Distil a ``harness prof --json-out`` report into baseline form.
+
+    The fractions are the kamlprof per-(op, namespace) component shares;
+    the simulation is deterministic, so they are machine-independent and
+    gate with an *absolute* percentage-point tolerance — the gate fires
+    when the bottleneck moves, not when throughput wobbles.
+    """
+    from repro.obs.profile import breakdown_fractions
+
+    return {
+        "workload": prof_artifact.get("workload", "?"),
+        "seed": prof_artifact.get("seed"),
+        "tolerance_pp": BREAKDOWN_TOLERANCE_PP,
+        "fractions": breakdown_fractions(prof_artifact),
+    }
+
+
 def build_baseline(
-    result: Dict[str, Any], perf_artifact: Optional[Dict[str, Any]] = None
+    result: Dict[str, Any],
+    perf_artifact: Optional[Dict[str, Any]] = None,
+    prof_artifact: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Distil a fig5 result (or its JSON artifact) into baseline form."""
     metrics = result.get("metrics") or {}
@@ -74,6 +101,8 @@ def build_baseline(
     }
     if perf_artifact is not None:
         baseline["perf"] = build_perf_section(perf_artifact)
+    if prof_artifact is not None:
+        baseline["breakdown"] = build_breakdown_section(prof_artifact)
     return baseline
 
 
@@ -161,6 +190,34 @@ def compare(
                 lower_is_regression=lower_is_regression,
                 check_tol=field_tol,
             )
+    base_breakdown = baseline.get("breakdown") or {}
+    if base_breakdown.get("fractions"):
+        pp_tol = float(base_breakdown.get("tolerance_pp", BREAKDOWN_TOLERANCE_PP))
+        current_fractions = (current.get("breakdown") or {}).get("fractions", {})
+        # Absolute shift in either direction: a bottleneck shrinking
+        # means some other component grew — both are behavior changes.
+        for key in sorted(base_breakdown["fractions"]):
+            base_value = float(base_breakdown["fractions"][key])
+            if key not in current_fractions:
+                failures.append(
+                    f"breakdown: {key!r} missing from the current run"
+                )
+                continue
+            value = float(current_fractions[key])
+            shift = value - base_value
+            shifted = abs(shift) > pp_tol
+            marker = "FAIL" if shifted else "ok"
+            report.append(
+                f"  [{marker:>4}] breakdown {key}: {value:.1%} vs "
+                f"{base_value:.1%} ({shift * 100:+.1f}pp, "
+                f"limit {pp_tol * 100:.0f}pp)"
+            )
+            if shifted:
+                failures.append(
+                    f"breakdown: {key} shifted {shift * 100:+.1f}pp "
+                    f"(limit {pp_tol * 100:.0f}pp): {value:.1%} vs "
+                    f"baseline {base_value:.1%}"
+                )
     return failures, report
 
 
@@ -232,6 +289,26 @@ def markdown_summary(
                 lower_is_regression,
                 field_tol,
             )
+    base_breakdown = baseline.get("breakdown") or {}
+    if base_breakdown.get("fractions"):
+        pp_tol = float(base_breakdown.get("tolerance_pp", BREAKDOWN_TOLERANCE_PP))
+        current_fractions = (current.get("breakdown") or {}).get("fractions", {})
+        for key in sorted(base_breakdown["fractions"]):
+            base_value = float(base_breakdown["fractions"][key])
+            if key not in current_fractions:
+                lines.append(
+                    f"| breakdown: {key} | missing | {base_value:.1%} | — | FAIL |"
+                )
+                continue
+            value = float(current_fractions[key])
+            shift = value - base_value
+            if abs(shift) <= 0.001 and base_value == 0.0:
+                continue  # all-zero components would drown the table
+            status = "FAIL" if abs(shift) > pp_tol else "ok"
+            lines.append(
+                f"| breakdown: {key} | {value:.1%} | {base_value:.1%} "
+                f"| {shift * 100:+.1f}pp | {status} |"
+            )
     lines.append("")
     return "\n".join(lines)
 
@@ -263,6 +340,11 @@ def main(argv: Optional[List[str]] = None) -> int:
              "skipped if the file does not exist",
     )
     parser.add_argument(
+        "--prof-artifact", default="benchmarks/artifacts/prof.json",
+        help="report JSON written by 'python -m repro.harness prof "
+             "--json-out'; skipped if the file does not exist",
+    )
+    parser.add_argument(
         "--baseline", default="benchmarks/baseline.json",
         help="checked-in baseline to gate against",
     )
@@ -286,12 +368,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     perf_artifact = None
     if args.perf_artifact and os.path.exists(args.perf_artifact):
         perf_artifact = _load_json(args.perf_artifact)
-    current = build_baseline(_load_json(args.artifact), perf_artifact)
+    prof_artifact = None
+    if args.prof_artifact and os.path.exists(args.prof_artifact):
+        prof_artifact = _load_json(args.prof_artifact)
+    current = build_baseline(
+        _load_json(args.artifact), perf_artifact, prof_artifact
+    )
     if args.rebaseline:
         if perf_artifact is None:
             print(
                 f"note: no perf artifact at {args.perf_artifact}; "
                 "the rewritten baseline has no 'perf' section "
+                "(run 'make rebaseline' to regenerate everything)",
+                file=sys.stderr,
+            )
+        if prof_artifact is None:
+            print(
+                f"note: no kamlprof artifact at {args.prof_artifact}; "
+                "the rewritten baseline has no 'breakdown' section "
                 "(run 'make rebaseline' to regenerate everything)",
                 file=sys.stderr,
             )

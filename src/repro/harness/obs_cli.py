@@ -24,7 +24,8 @@ from typing import Any, Dict, List, Optional
 
 from repro.harness.reporting import format_kv, format_table
 from repro.kaml import NamespaceAttributes
-from repro.obs import write_chrome_trace
+from repro.obs import analyze, write_chrome_trace
+from repro.obs.profile import breakdown_rows
 
 
 def _build_stack(cache_bytes: int, capacity: int):
@@ -153,6 +154,20 @@ def run_obs(args: argparse.Namespace, out=None) -> Dict[str, Any]:
             file=out,
         )
 
+    profile_report = None
+    if args.profile:
+        # Reuse the kamlprof report path over the same recorded window.
+        profile_report = analyze(ssd.tracer.recorder.events())
+        print(file=out)
+        print(
+            format_table(
+                "kamlprof breakdown (flight-recorder window)",
+                ["op", "ns", "component", "us", "fraction"],
+                breakdown_rows(profile_report, min_fraction=0.005),
+            ),
+            file=out,
+        )
+
     if args.trace_out:
         write_chrome_trace(
             args.trace_out, ssd.tracer.recorder.events(), process_name="repro-obs"
@@ -167,13 +182,16 @@ def run_obs(args: argparse.Namespace, out=None) -> Dict[str, Any]:
             handle.write("\n")
         print(f"breach dumps written to {args.breach_out}", file=out)
 
-    return {
+    result = {
         "summary": summary,
         "slo": slo_summary,
         "breaches": breach_dumps,
         "namespace_id": namespace_id,
         "elapsed_us": env.now,
     }
+    if profile_report is not None:
+        result["profile"] = profile_report
+    return result
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -214,11 +232,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--breach-out", default=None, help="write SLO breach dumps (JSON) here"
     )
     parser.add_argument("--max-breach-prints", type=int, default=8)
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="also print the kamlprof latency breakdown of the recorded window",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="suppress the human report and print the result dict as JSON",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.json:
+        # Machine-readable mode: the human report goes nowhere, stdout
+        # carries exactly one JSON document.
+        import io
+
+        result = run_obs(args, out=io.StringIO())
+        print(
+            json.dumps(result, indent=2, sort_keys=True, default=str),
+            file=out if out is not None else sys.stdout,
+        )
+        return 0
     run_obs(args, out=out)
     return 0
 

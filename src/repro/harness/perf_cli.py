@@ -226,6 +226,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--json", dest="json_out", default=None,
         help="also write the results as a JSON artifact (for the perf gate)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="after measuring, run each KV workload once more through the "
+             "kamlprof breakdown (kernel has no spans and is skipped)",
+    )
     args = parser.parse_args(argv)
 
     names = [name.strip() for name in args.workloads.split(",") if name.strip()]
@@ -239,6 +244,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in names:
         results.append(measure(name, repeat=args.repeat, scale=args.scale))
     print(format_results(results))
+
+    if args.profile:
+        from repro.harness import prof_cli
+
+        for name in names:
+            if name == "kernel":
+                print("\n[profile] kernel has no KV stack above it; skipping")
+                continue
+            # Mirror this workload's perf parameters so the breakdown
+            # explains the run the gate actually measures.
+            if name == "mixed":
+                prof_argv = [
+                    "--workload", "mixed", "--seed", "42",
+                    "--ops", str(2000 * args.scale),
+                ]
+            else:
+                prof_argv = [
+                    "--workload", "ycsb-b", "--seed", "7",
+                    "--ops", str(1000 * args.scale),
+                    "--records", str(1000 * args.scale),
+                ]
+            print(f"\n[profile] {name}")
+            prof_cli.run_prof(
+                prof_cli.build_parser().parse_args(prof_argv + ["--no-timeseries"])
+            )
 
     if args.json_out:
         payload = {

@@ -318,11 +318,24 @@ class KamlLog:
                     continue
                 self._crash_point("log.mid_flush")
                 program_start = self.env.now
+                # Device-side telemetry trace: one root per page program,
+                # so the profiler can separate flash-program cost (bus
+                # transfer, engine wait, t_PROG) from the request-side
+                # log.append wait that covers it.
+                flush_ctx = self.tracer.request(
+                    "kaml.flash_program",
+                    log=self.log_id,
+                    stream="gc" if for_gc else "host",
+                    records=len(assembly.records),
+                )
                 try:
                     yield from self.array.program_page(
-                        pointer, data, oob=assembly.bitmap()
+                        pointer, data, oob=assembly.bitmap(),
+                        ctx=flush_ctx, parent=flush_ctx.root,
                     )
                 except ProgramFailure:
+                    flush_ctx.root.tags["failed"] = True
+                    flush_ctx.close()
                     # Transient media fault: the attempted page is burned
                     # (its write pointer advanced past garbage); remap the
                     # whole assembly to the next allocatable page.
@@ -353,6 +366,7 @@ class KamlLog:
                         "kaml.log.program_retries", log=self.log_id
                     ).inc()
                     continue
+                flush_ctx.close()
                 break
             self._programmed_pages_counter.inc()
             self._programmed_bytes_counter.inc(self.geometry.page_size)
@@ -479,7 +493,8 @@ class KamlLog:
                 while True:
                     try:
                         yield from self.array.erase_block(
-                            PagePointer(self.channel, self.chip, block_index, 0)
+                            PagePointer(self.channel, self.chip, block_index, 0),
+                            ctx=ctx, parent=erase_span,
                         )
                         break
                     except EraseFailure:
@@ -563,7 +578,9 @@ class KamlLog:
         for page_index in range(block.programmed_pages):
             pointer = PagePointer(self.channel, self.chip, block_index, page_index)
             try:
-                data, bitmap = yield from self.array.read_page(pointer)
+                data, bitmap = yield from self.array.read_page(
+                    pointer, ctx=ctx, parent=parent
+                )
             except ReadError:
                 if self.epoch != epoch:
                     return  # ghost pass: the block was reclaimed post-crash

@@ -209,6 +209,10 @@ class KamlSsd:
         self._gets_counters: Dict[int, Any] = {}
         self._put_bytes_counters: Dict[int, Any] = {}
         self._get_us_histograms: Dict[int, Any] = {}
+        #: Device telemetry sampler — None until a harness opts in via
+        #: :meth:`enable_timeseries` (pay-as-you-go: default runs must
+        #: schedule zero extra simulation events).
+        self.timeseries = None
 
     # ------------------------------------------------------------------
     # Namespace management (Table I)
@@ -331,7 +335,9 @@ class KamlSsd:
         try:
             dispatch_span = ctx.begin("get.dispatch", parent=get_span)
             yield from self.link.command_overhead()
-            yield from self.firmware.execute(self.costs.dispatch_us)
+            yield from self.firmware.execute(
+                self.costs.dispatch_us, ctx=ctx, parent=dispatch_span
+            )
             ctx.finish(dispatch_span)
             # A logically committed but not-yet-installed value is served from
             # the NVRAM staging area — acknowledged Puts are always visible.
@@ -371,6 +377,7 @@ class KamlSsd:
                 data, _oob = yield from self.array.read_page(
                     location.page,
                     transfer_bytes=location.nchunks * self.geometry.chunk_size,
+                    ctx=ctx, parent=read_span,
                 )
             finally:
                 self._unpin(block_key)
@@ -623,7 +630,8 @@ class KamlSsd:
         pin_start = self.env.now
         self._nvram_used_gauge.set(self.nvram.used_bytes)
         yield from self.firmware.execute(
-            self.costs.dispatch_us + total_bytes / self.costs.nvram_copy_bytes_per_us
+            self.costs.dispatch_us + total_bytes / self.costs.nvram_copy_bytes_per_us,
+            ctx=ctx, parent=phase1_span,
         )
         if self.epoch != epoch:
             put_span.tags["crashed"] = True
@@ -648,11 +656,16 @@ class KamlSsd:
                 cost += self.costs.hash_insert_us
             probe_costs.append(cost)
         if len(probe_costs) == 1:
-            yield from self.firmware.execute(probe_costs[0])
-        else:
-            yield self.env.all_of(
-                [self.env.process(self.firmware.execute(c)) for c in probe_costs]
+            yield from self.firmware.execute(
+                probe_costs[0], ctx=ctx, parent=probe_span
             )
+        else:
+            yield self.env.all_of([
+                self.env.process(
+                    self.firmware.execute(c, ctx=ctx, parent=probe_span)
+                )
+                for c in probe_costs
+            ])
         ctx.finish(probe_span)
         if self.epoch != epoch:
             put_span.tags["crashed"] = True
@@ -1150,7 +1163,9 @@ class KamlSsd:
                     full_blocks.append(block_index)
                 for page_index in range(block.programmed_pages):
                     pointer = PagePointer(log.channel, log.chip, block_index, page_index)
-                    data, oob = yield from self.array.read_page(pointer)
+                    data, oob = yield from self.array.read_page(
+                        pointer, ctx=ctx, parent=ctx.root
+                    )
                     scanned_pages += 1
                     for start, nchunks in decode_bitmap(
                         oob or 0, self.geometry.chunks_per_page
@@ -1306,6 +1321,27 @@ class KamlSsd:
         """
         if sanitize.enabled():
             sanitize.check_close(self)
+
+    def enable_timeseries(
+        self, interval_us: float = 1000.0, capacity: int = 4096
+    ) -> Any:
+        """Start the device telemetry sampler (``repro.obs.timeseries``).
+
+        Opt-in only: this launches a periodic sampling process, so runs
+        that must stay event-count-identical to the seed (determinism
+        digests, the perf gate) simply never call it.  Call after the
+        namespaces under test exist — per-namespace rate probes are
+        registered for the namespaces present now.
+        """
+        from repro.obs.timeseries import TimeSeriesCollector, install_device_probes
+
+        collector = TimeSeriesCollector(
+            self.env, interval_us=interval_us, capacity=capacity
+        )
+        install_device_probes(collector, self)
+        collector.start()
+        self.timeseries = collector
+        return collector
 
     def utilization_report(self) -> Dict[str, Any]:
         """Operational snapshot of the device (monitoring/debug surface)."""

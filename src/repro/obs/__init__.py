@@ -37,10 +37,23 @@ from repro.obs.trace import (
     write_chrome_trace,
 )
 from repro.obs.slo import SloBreach, SloPolicy, SloTracker
+from repro.obs.profile import (
+    COMPONENTS,
+    KNOWN_SPAN_NAMES,
+    SPAN_COMPONENTS,
+    analyze,
+    breakdown_fractions,
+    collapsed_stacks,
+    component_of,
+    write_collapsed,
+)
+from repro.obs.timeseries import TimeSeriesCollector, install_device_probes
 
 __all__ = [
+    "COMPONENTS",
     "Counter",
     "DEFAULT_BUCKETS",
+    "KNOWN_SPAN_NAMES",
     "NULL_CONTEXT",
     "FlightRecorder",
     "Gauge",
@@ -51,12 +64,19 @@ __all__ = [
     "SloBreach",
     "SloPolicy",
     "SloTracker",
+    "SPAN_COMPONENTS",
     "SpanEvent",
     "SpanRecord",
+    "TimeSeriesCollector",
     "TraceContext",
     "Tracer",
+    "analyze",
+    "breakdown_fractions",
     "chrome_trace",
+    "collapsed_stacks",
+    "component_of",
     "derived_metrics",
+    "install_device_probes",
     "labels_key",
     "percentile",
     "summary_row",
@@ -64,5 +84,6 @@ __all__ = [
     "to_json",
     "to_text",
     "write_chrome_trace",
+    "write_collapsed",
     "write_json",
 ]

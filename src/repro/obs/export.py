@@ -75,6 +75,10 @@ def write_json(
 def _fmt(value: float) -> str:
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
+    if 0.0 < abs(value) < 1e-3:
+        # Sub-nanosecond values would render as "0.000"; scientific
+        # notation keeps them distinguishable (and stable across runs).
+        return f"{value:.3e}"
     return f"{value:.3f}"
 
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.obs.trace import NULL_CONTEXT
 from repro.sim import Environment, Resource
 
 
@@ -43,13 +44,24 @@ class FirmwarePool:
     def contexts(self) -> int:
         return self._pool.capacity
 
-    def execute(self, cost_us: float) -> Any:
-        """Run ``cost_us`` of firmware work on some core."""
+    @property
+    def queue_depth(self) -> int:
+        """Commands waiting for a context right now (telemetry probe)."""
+        return self._pool.queue_length
+
+    def execute(self, cost_us: float, ctx=NULL_CONTEXT, parent=None) -> Any:
+        """Run ``cost_us`` of firmware work on some core.
+
+        With a trace context, contended context acquisition is recorded
+        as a ``firmware.wait`` span (no extra simulation events).
+        """
         if cost_us <= 0:
             return
         queued = self.env.now
         request = self._pool.request()
         yield request
+        if self.env.now > queued:
+            ctx.record_span("firmware.wait", start_us=queued, parent=parent)
         if self._wait_us_histogram is not None:
             self._wait_us_histogram.observe(self.env.now - queued)
             self._queue_depth_gauge.set(self._pool.queue_length)

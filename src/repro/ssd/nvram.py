@@ -40,6 +40,12 @@ class NvramBuffer:
     def free_bytes(self) -> int:
         return self.capacity_bytes - self._used
 
+    @property
+    def pending_reservations(self) -> int:
+        """Reservations queued behind a full buffer (telemetry probe:
+        non-zero means Put phase 1 is back-pressured on NVRAM space)."""
+        return len(self._waiters)
+
     def reserve(self, nbytes: int, payload: Any = None) -> Event:
         """Reserve space; the event fires with a handle once space exists.
 

@@ -1,0 +1,26 @@
+"""Fixture: span names / component tags outside the kamlprof taxonomy."""
+
+
+def unregistered_span_name(ctx):
+    span = ctx.begin("kaml.mystery_phase")  # KL-OBS001: unknown span name
+    ctx.finish(span)
+
+
+def unregistered_record_span(ctx, started):
+    ctx.record_span("pipeline.secret_wait", start_us=started)  # KL-OBS001
+
+
+def unregistered_component_tag(ctx):
+    with ctx.span("log.append", component="warp_drive"):  # KL-OBS001
+        pass
+
+
+def registered_names_are_fine(ctx, started):
+    with ctx.span("log.append", component="log_append"):
+        pass
+    ctx.record_span("bus.wait", start_us=started)
+
+
+def dynamic_names_are_skipped(ctx, name):
+    span = ctx.begin(name)  # not a literal: out of scope
+    ctx.finish(span)

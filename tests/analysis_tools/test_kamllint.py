@@ -32,10 +32,26 @@ def test_production_tree_is_clean():
         ("sim_blocking.py", "KL-SIM001"),
         ("bare_assert.py", "KL-INV001"),
         ("fault_peek.py", "KL-FLT001"),
+        ("obs_unregistered_span.py", "KL-OBS001"),
     ],
 )
 def test_seeded_fixture_triggers_rule(fixture, rule):
     assert rule in rules_for(fixture)
+
+
+def test_obs_rule_flags_names_and_tags_but_not_dynamic_names():
+    violations = [
+        v
+        for v in run_lint([FIXTURES / "obs_unregistered_span.py"])
+        if v.rule == "KL-OBS001"
+    ]
+    # Two unregistered span names plus one unregistered component tag;
+    # the registered names and the dynamically-built name stay silent.
+    assert len(violations) == 3
+    messages = " ".join(v.message for v in violations)
+    assert "kaml.mystery_phase" in messages
+    assert "pipeline.secret_wait" in messages
+    assert "warp_drive" in messages
 
 
 def test_allow_pragma_suppresses_findings():

@@ -92,10 +92,36 @@ def crash_scenario() -> Dict[str, Any]:
     }
 
 
+def prof_breakdown_mini() -> Dict[str, Any]:
+    """kamlprof attribution over a small fixed-seed mixed run.
+
+    Hashes the full per-namespace component breakdown (fractions at
+    float precision), the background buckets, and the recorder counts —
+    if span instrumentation or the attribution algorithm shifts
+    behavior, this digest moves.
+    """
+    import io
+
+    from repro.harness.prof_cli import build_parser, run_prof
+
+    args = build_parser().parse_args([
+        "--workload", "mixed", "--ops", "80", "--threads", "2",
+        "--key-space", "64", "--seed", "13", "--no-timeseries",
+    ])
+    report = run_prof(args, out=io.StringIO())
+    return {
+        "requests": report["requests"],
+        "background": report["background"],
+        "elapsed_us": report["elapsed_us"],
+        "recorder": report["recorder"],
+    }
+
+
 SCENARIOS = {
     "fig5_mini": fig5_mini,
     "fig10_mini": fig10_mini,
     "crash_scenario": crash_scenario,
+    "prof_breakdown_mini": prof_breakdown_mini,
 }
 
 #: Captured on the pre-rewrite kernel (commit ad2ae2b lineage); see
@@ -104,6 +130,7 @@ EXPECTED = {
     "fig5_mini": "af7d64f5fcad938e8f0d518189165ff7330b0ffefebfa9f3f0173761e177b3a9",
     "fig10_mini": "7cfa5dc94e7349e555aaffc0f28db0de8a9695cec3e04e6a13d33efff3a1138f",
     "crash_scenario": "07b171a9e9b2658410fbb7dcdc48038cc47bf254de16613fc9ab7c1f8a66bce4",
+    "prof_breakdown_mini": "86c897b6c9837273c3f3a54d4688a51e4513cd9682efe007def520d7d4d651be",
 }
 
 
@@ -117,6 +144,10 @@ def test_fig10_mini_digest():
 
 def test_crash_scenario_digest():
     assert digest(crash_scenario()) == EXPECTED["crash_scenario"]
+
+
+def test_prof_breakdown_mini_digest():
+    assert digest(prof_breakdown_mini()) == EXPECTED["prof_breakdown_mini"]
 
 
 if __name__ == "__main__":
