@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-sanitized lint kamllint lint-deep format bench-smoke bench-perf prof perf-gate rebaseline obs-demo crash-matrix
+.PHONY: test test-sanitized lint kamllint lint-deep format bench-smoke bench-perf prof perf-gate rebaseline obs-demo crash-matrix record replay diff
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -67,3 +67,20 @@ crash-matrix:
 obs-demo:
 	$(PYTHON) -m repro.harness obs --ops 200 --slo-put-us 100 \
 		--trace-out /tmp/kaml_trace.json --flight-out /tmp/kaml_flight.jsonl
+
+# kamltrace: capture the canonical YCSB-B run as an op journal, replay
+# it deterministically, and diff two seeds of the same workload (the
+# empty diff is the noise floor the attribution thresholds are set by).
+record:
+	mkdir -p benchmarks/artifacts
+	$(PYTHON) -m repro.harness record --workload ycsb-b \
+		--out benchmarks/artifacts/ycsb-b.jsonl.gz
+
+replay:
+	$(PYTHON) -m repro.harness replay benchmarks/artifacts/ycsb-b.jsonl.gz \
+		--mode closed --threads 1 \
+		--json-out benchmarks/artifacts/replay.json
+
+diff:
+	$(PYTHON) -m repro.harness diff --workload mixed --seed-a 7 --seed-b 11 \
+		--json-out benchmarks/artifacts/diff_seeds.json

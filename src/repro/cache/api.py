@@ -106,9 +106,11 @@ class KamlStore:
             return None
         if staged is not None:
             return staged[0]
+        started = self.env.now
         ctx = self.tracer.request(
             "store.txn.read", txn=txn.txn_id, namespace=namespace_id, key=key
         )
+        result = None
         try:
             with ctx.span("lock.acquire", parent=ctx.root, mode="S"):
                 yield from self.locks.acquire(
@@ -118,6 +120,19 @@ class KamlStore:
             result = yield from self.buffer.read(namespace_id, key, ctx=ctx)
         finally:
             ctx.close()
+            oplog = self.ssd.oplog
+            if oplog.enabled:
+                # Transactional reads are the store-level workload too:
+                # journal them as "get" rows so a captured OLTP/YCSB run
+                # keeps its read mix (workspace-served reads never leave
+                # the host and are not journaled).
+                oplog.record(
+                    "get", namespace_id, key,
+                    result[1] if result is not None else 0,
+                    started, self.env.now,
+                    outcome="ok" if result is not None else "absent",
+                    trace_id=ctx.trace_id, layer="store",
+                )
         return result[0] if result is not None else None
 
     def transaction_read_for_update(
@@ -135,9 +150,11 @@ class KamlStore:
             return None
         if staged is not None:
             return staged[0]
+        started = self.env.now
         ctx = self.tracer.request(
             "store.txn.read_for_update", txn=txn.txn_id, namespace=namespace_id, key=key
         )
+        result = None
         try:
             with ctx.span("lock.acquire", parent=ctx.root, mode="X"):
                 yield from self.locks.acquire(
@@ -147,6 +164,15 @@ class KamlStore:
             result = yield from self.buffer.read(namespace_id, key, ctx=ctx)
         finally:
             ctx.close()
+            oplog = self.ssd.oplog
+            if oplog.enabled:
+                oplog.record(
+                    "get", namespace_id, key,
+                    result[1] if result is not None else 0,
+                    started, self.env.now,
+                    outcome="ok" if result is not None else "absent",
+                    trace_id=ctx.trace_id, layer="store",
+                )
         return result[0] if result is not None else None
 
     def transaction_update(
@@ -155,11 +181,21 @@ class KamlStore:
         """``TransactionUpdate()``: X-lock and stage a private copy; the
         change stays in host memory until commit."""
         txn.require_active()
+        started = self.env.now
         yield from self.locks.acquire(
             txn, self.locks.lock_name(namespace_id, key), LockMode.EXCLUSIVE
         )
         yield self.env.timeout(size / self.costs.copy_bytes_per_us)
         txn.stage_write(namespace_id, key, value, size)
+        oplog = self.ssd.oplog
+        if oplog.enabled:
+            # Journaled at stage time, even if the transaction later
+            # aborts: the journal captures what the client asked for.
+            # Durability is the commit's device-layer put batch.
+            oplog.record(
+                "put", namespace_id, key, size, started, self.env.now,
+                layer="store",
+            )
 
     def transaction_insert(
         self, txn: Transaction, namespace_id: int, key: int, value: Any, size: int
@@ -171,10 +207,17 @@ class KamlStore:
     def transaction_delete(self, txn: Transaction, namespace_id: int, key: int) -> Any:
         """Extension: transactional delete (tombstone until commit)."""
         txn.require_active()
+        started = self.env.now
         yield from self.locks.acquire(
             txn, self.locks.lock_name(namespace_id, key), LockMode.EXCLUSIVE
         )
         txn.stage_delete(namespace_id, key)
+        oplog = self.ssd.oplog
+        if oplog.enabled:
+            oplog.record(
+                "delete", namespace_id, key, 0, started, self.env.now,
+                layer="store",
+            )
 
     def transaction_commit(self, txn: Transaction) -> Any:
         """``TransactionCommit()``: publish private copies to the cache,
@@ -246,12 +289,27 @@ class KamlStore:
         """Cache-accelerated read outside any transaction."""
         started = self.env.now
         ctx = self.tracer.request("store.get", namespace=namespace_id, key=key)
+        result = None
         try:
             result = yield from self.buffer.read(namespace_id, key, ctx=ctx)
         finally:
             ctx.close()
+            op_id = 0
+            oplog = self.ssd.oplog
+            if oplog.enabled:
+                # layer="store" keeps host-level rows (cache hits
+                # included) apart from the device rows the SSD journals
+                # itself on a cache miss.
+                op_id = oplog.record(
+                    "get", namespace_id, key,
+                    result[1] if result is not None else 0,
+                    started, self.env.now,
+                    outcome="ok" if result is not None else "absent",
+                    trace_id=ctx.trace_id, layer="store",
+                )
             self.slo.record(
-                "store.get", namespace_id, started, self.env.now, ctx.trace_id
+                "store.get", namespace_id, started, self.env.now, ctx.trace_id,
+                op_id=op_id,
             )
         return result[0] if result is not None else None
 
@@ -264,8 +322,16 @@ class KamlStore:
             yield from self.buffer.install_clean(namespace_id, key, value, size)
         finally:
             ctx.close()
+            op_id = 0
+            oplog = self.ssd.oplog
+            if oplog.enabled:
+                op_id = oplog.record(
+                    "put", namespace_id, key, size, started, self.env.now,
+                    trace_id=ctx.trace_id, layer="store",
+                )
             self.slo.record(
-                "store.put", namespace_id, started, self.env.now, ctx.trace_id
+                "store.put", namespace_id, started, self.env.now, ctx.trace_id,
+                op_id=op_id,
             )
 
     def put_cached(self, namespace_id: int, key: int, value: Any, size: int) -> Any:

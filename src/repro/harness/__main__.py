@@ -58,6 +58,18 @@ def main(argv=None) -> int:
         from repro.harness import prof_cli
 
         return prof_cli.main(argv[1:])
+    if argv and argv[0] == "record":
+        from repro.harness import trace_cli
+
+        return trace_cli.record_main(argv[1:])
+    if argv and argv[0] == "replay":
+        from repro.harness import trace_cli
+
+        return trace_cli.replay_main(argv[1:])
+    if argv and argv[0] == "diff":
+        from repro.harness import diff_cli
+
+        return diff_cli.main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -86,6 +98,9 @@ def main(argv=None) -> int:
         print(f"{'crash':10} crash-consistency matrix (see 'crash --help')")
         print(f"{'perf':10} simulator throughput benchmark (see 'perf --help')")
         print(f"{'prof':10} latency-attribution profiler (see 'prof --help')")
+        print(f"{'record':10} capture an op journal (see 'record --help')")
+        print(f"{'replay':10} re-issue a captured journal (see 'replay --help')")
+        print(f"{'diff':10} differential run attribution (see 'diff --help')")
         return 0
 
     names = list(EXPERIMENTS) if "all" in args.figures else args.figures

@@ -363,6 +363,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--rebaseline", action="store_true",
         help="overwrite the baseline with the current artifact's numbers",
     )
+    parser.add_argument(
+        "--diff-out", default="benchmarks/artifacts/diff_report.json",
+        help="on failure, write a differential attribution report "
+             "(baseline vs current) here; '' disables",
+    )
     args = parser.parse_args(argv)
 
     perf_artifact = None
@@ -414,6 +419,24 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
+        if args.diff_out:
+            # Ship first-round triage with the red gate: which component
+            # owns the shift, per docs/replay.md.
+            from repro.obs.diff import diff_reports, markdown_diff
+
+            diff = diff_reports(baseline, current)
+            diff["a"] = args.baseline
+            diff["b"] = args.artifact
+            os.makedirs(os.path.dirname(args.diff_out) or ".", exist_ok=True)
+            _write_json(args.diff_out, diff)
+            print(f"differential report written to {args.diff_out}",
+                  file=sys.stderr)
+            if summary_path:
+                with open(summary_path, "a") as handle:
+                    handle.write(markdown_diff(
+                        diff, title="Perf-gate differential attribution"
+                    ))
+                    handle.write("\n")
         print(
             "\nIf the change is intentional, refresh the baseline with "
             "'make rebaseline' and commit benchmarks/baseline.json.",

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
 from typing import Any, Dict, List, Optional
@@ -78,6 +79,11 @@ def run_obs(args: argparse.Namespace, out=None) -> Dict[str, Any]:
     """Build the stack, run the workload, report; returns the result dict."""
     out = out if out is not None else sys.stdout
     env, ssd, store, namespace_id = _build_stack(args.cache_bytes, args.key_space)
+    journal = None
+    if args.record_out:
+        journal = ssd.enable_oplog(
+            path=args.record_out, capacity=args.record_capacity
+        )
     if args.slo_put_us is not None:
         ssd.slo.set_slo("put", args.slo_put_us)
     if args.slo_get_us is not None:
@@ -146,10 +152,13 @@ def run_obs(args: argparse.Namespace, out=None) -> Dict[str, Any]:
     )
     for dump in breach_dumps[: args.max_breach_prints]:
         breach = dump["breach"]
+        # op_id joins the breach back to its captured journal row (0
+        # when the op journal was off for this run).
+        op_ref = f" op_id={breach['op_id']}" if breach.get("op_id") else ""
         print(
             f"  {breach['op']} ns={breach['namespace']} "
             f"{breach['latency_us']:.1f}us > {breach['threshold_us']:.1f}us "
-            f"at t={breach['start_us']:.1f} "
+            f"at t={breach['start_us']:.1f}{op_ref} "
             f"({len(dump['events'])} causally-linked events)",
             file=out,
         )
@@ -182,12 +191,52 @@ def run_obs(args: argparse.Namespace, out=None) -> Dict[str, Any]:
             handle.write("\n")
         print(f"breach dumps written to {args.breach_out}", file=out)
 
+    recorder = ssd.tracer.recorder
+    capture: Dict[str, Any] = {
+        "recorder": {
+            "recorded": recorder.recorded,
+            "retained": len(recorder.events()),
+            "dropped": recorder.dropped,
+        },
+        "oplog": None,
+    }
+    if journal is not None:
+        journal.close()
+        capture["oplog"] = journal.counts()
+        print(
+            f"op journal: {capture['oplog']['recorded']} recorded, "
+            f"{capture['oplog']['dropped']} dropped -> {args.record_out}",
+            file=out,
+        )
+    print(
+        f"spans: {capture['recorder']['recorded']} recorded, "
+        f"{capture['recorder']['dropped']} dropped",
+        file=out,
+    )
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary:
+        oplog_cell = "off"
+        if capture["oplog"] is not None:
+            oplog_cell = (
+                f"{capture['oplog']['recorded']} recorded / "
+                f"{capture['oplog']['dropped']} dropped"
+            )
+        with open(step_summary, "a") as handle:
+            handle.write(
+                "**obs capture health:** "
+                f"spans {capture['recorder']['recorded']} recorded / "
+                f"{capture['recorder']['dropped']} dropped; "
+                f"op journal {oplog_cell}; "
+                f"SLO breaches {len(ssd.slo.breaches)}\n\n"
+            )
+
     result = {
         "summary": summary,
         "slo": slo_summary,
         "breaches": breach_dumps,
         "namespace_id": namespace_id,
         "elapsed_us": env.now,
+        "capture": capture,
     }
     if profile_report is not None:
         result["profile"] = profile_report
@@ -232,6 +281,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--breach-out", default=None, help="write SLO breach dumps (JSON) here"
     )
     parser.add_argument("--max-breach-prints", type=int, default=8)
+    parser.add_argument(
+        "--record-out", default=None,
+        help="capture an op journal (.jsonl/.jsonl.gz) during the run",
+    )
+    parser.add_argument(
+        "--record-capacity", type=int, default=1 << 20,
+        help="op-journal row budget for --record-out",
+    )
     parser.add_argument(
         "--profile", action="store_true",
         help="also print the kamlprof latency breakdown of the recorded window",

@@ -153,6 +153,19 @@ def run_prof(args: argparse.Namespace, out=None) -> Dict[str, Any]:
         "retained": len(events),
         "dropped": recorder.dropped,
     }
+    # SLO percentiles and telemetry means ride along so `harness diff`
+    # can compare two prof artifacts on all three axes at once.
+    report["slo"] = ssd.slo.latency_summary()
+    if ssd.timeseries is not None:
+        report["telemetry"] = {
+            "summary": ssd.timeseries.summary(),
+            "samples": len(ssd.timeseries.samples),
+            "dropped": ssd.timeseries.dropped,
+        }
+    report["capture"] = {
+        "recorder": dict(report["recorder"]),
+        "oplog": ssd.oplog.counts() if ssd.oplog.enabled else None,
+    }
 
     print(
         format_table(
@@ -224,6 +237,14 @@ def run_prof(args: argparse.Namespace, out=None) -> Dict[str, Any]:
         f"(ring capacity {args.recorder_capacity})",
         file=out,
     )
+    if ssd.oplog.enabled:
+        counts = ssd.oplog.counts()
+        print(
+            f"op journal: {counts['recorded']} recorded, "
+            f"{counts['dropped']} dropped "
+            f"(capacity {counts['capacity']})",
+            file=out,
+        )
 
     if args.flame_out:
         write_collapsed(args.flame_out, collapsed_stacks(events))
@@ -247,6 +268,19 @@ def run_prof(args: argparse.Namespace, out=None) -> Dict[str, Any]:
                 )
             )
             handle.write("\n")
+            capture = report["capture"]
+            oplog_cell = "off"
+            if capture["oplog"] is not None:
+                oplog_cell = (
+                    f"{capture['oplog']['recorded']} recorded / "
+                    f"{capture['oplog']['dropped']} dropped"
+                )
+            handle.write(
+                "**Capture health:** "
+                f"spans {capture['recorder']['recorded']} recorded / "
+                f"{capture['recorder']['dropped']} dropped; "
+                f"op journal {oplog_cell}\n\n"
+            )
     return report
 
 

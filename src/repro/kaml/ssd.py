@@ -47,6 +47,7 @@ from repro.kaml.record import (
 )
 from repro.kaml.snapshot import Snapshot, SnapshotError, clone_index
 from repro.obs import NULL_CONTEXT, MetricsRegistry, SloTracker, TraceContext, Tracer
+from repro.obs.oplog import NULL_OPLOG
 from repro.sim import Environment, Gate, Process
 from repro.ssd import FirmwarePool, HostInterconnect, NvramBuffer, OnboardDram
 
@@ -213,6 +214,10 @@ class KamlSsd:
         #: :meth:`enable_timeseries` (pay-as-you-go: default runs must
         #: schedule zero extra simulation events).
         self.timeseries = None
+        #: kamltrace op journal — the shared :data:`NULL_OPLOG` until a
+        #: harness opts in via :meth:`enable_oplog` (same contract: one
+        #: attribute check per command, zero extra simulation events).
+        self.oplog = NULL_OPLOG
 
     # ------------------------------------------------------------------
     # Namespace management (Table I)
@@ -332,6 +337,10 @@ class KamlSsd:
         else:
             get_span = ctx.begin("kaml.get", namespace=namespace_id, key=key)
         started = self.env.now
+        # Journal bookkeeping: the finally block records one op-journal
+        # row per Get, so the return sites below keep these truthful.
+        outcome = "error"
+        out_size = 0
         try:
             dispatch_span = ctx.begin("get.dispatch", parent=get_span)
             yield from self.link.command_overhead()
@@ -350,9 +359,12 @@ class KamlSsd:
                 _version, value, size = staged
                 yield from self.firmware.execute(self.costs.hash_probe_us)
                 if value is _DELETED:
+                    outcome = "absent"
                     return None
                 with ctx.span("get.transfer", parent=get_span):
                     yield from self.link.device_to_host(size)
+                outcome = "ok"
+                out_size = size
                 return value, size
             probe_span = ctx.begin("get.index_probe", parent=get_span)
             location, scanned = namespace.index.lookup(key)
@@ -361,6 +373,7 @@ class KamlSsd:
             ctx.finish(probe_span)
             if location is None:
                 get_span.tags["source"] = "absent"
+                outcome = "absent"
                 return None
             get_span.tags["source"] = "flash"
             location, block_key = yield from self._pin_location(
@@ -368,6 +381,7 @@ class KamlSsd:
             )
             if location is None:
                 get_span.tags["source"] = "absent"
+                outcome = "absent"
                 return None
             read_span = ctx.begin(
                 "get.flash_read", parent=get_span,
@@ -385,6 +399,8 @@ class KamlSsd:
             record = data[location.chunk]
             with ctx.span("get.transfer", parent=get_span):
                 yield from self.link.device_to_host(record.size)
+            outcome = "ok"
+            out_size = record.size
             return record.value, record.size
         finally:
             get_us = self._get_us_histograms.get(namespace_id)
@@ -396,7 +412,17 @@ class KamlSsd:
                 ctx.close()
             else:
                 ctx.finish(get_span)
-            self.slo.record("get", namespace_id, started, self.env.now, ctx.trace_id)
+            op_id = 0
+            oplog = self.oplog
+            if oplog.enabled:
+                op_id = oplog.record(
+                    "get", namespace_id, key, out_size, started, self.env.now,
+                    outcome=outcome, trace_id=ctx.trace_id,
+                )
+            self.slo.record(
+                "get", namespace_id, started, self.env.now, ctx.trace_id,
+                op_id=op_id,
+            )
 
     # ------------------------------------------------------------------
     # Snapshots (extension: the indirection service the intro motivates)
@@ -516,6 +542,7 @@ class KamlSsd:
                 f'index_structure="sorted" to enable Scan'
             )
         self.metrics.counter("kaml.ssd.gets", namespace=namespace_id).inc()
+        started = self.env.now
         yield from self.link.command_overhead()
         yield from self.firmware.execute(self.costs.dispatch_us)
         matches: Dict[int, Tuple[str, Any]] = {
@@ -558,6 +585,12 @@ class KamlSsd:
             results.append((key, record.value))
             total_bytes += record.size
         yield from self.link.device_to_host(total_bytes)
+        oplog = self.oplog
+        if oplog.enabled:
+            oplog.record(
+                "scan", namespace_id, low, total_bytes, started, self.env.now,
+                outcome="ok", key2=high,
+            )
         return results
 
     def put(self, items: List[PutItem], ctx: Optional[TraceContext] = None) -> Any:
@@ -690,8 +723,20 @@ class KamlSsd:
         # at the ack); detach so close() can't truncate the put span.
         ctx.detach(put_span)
         self._phase1_us_histogram.observe(self.env.now - phase1_start)
+        op_id = 0
+        oplog = self.oplog
+        if oplog.enabled:
+            # One row per record, journaled at the ack (the host-visible
+            # completion); batch rows share a head id so replay regroups
+            # the atomic batch.
+            op_id = oplog.record_batch(
+                "put",
+                [(item.namespace_id, item.key, item.size) for item in items],
+                phase1_start, self.env.now, trace_id=ctx.trace_id,
+            )
         self.slo.record(
-            "put", items[0].namespace_id, phase1_start, self.env.now, ctx.trace_id
+            "put", items[0].namespace_id, phase1_start, self.env.now, ctx.trace_id,
+            op_id=op_id,
         )
         return self.env.process(
             self._complete_put(
@@ -770,6 +815,7 @@ class KamlSsd:
         namespace = self._namespace(namespace_id)
         namespace.require_resident()
         self.metrics.counter("kaml.ssd.deletes", namespace=namespace_id).inc()
+        started = self.env.now
         epoch = self.epoch
         yield from self.link.command_overhead()
         yield from self.firmware.execute(self.costs.dispatch_us)
@@ -800,6 +846,12 @@ class KamlSsd:
         if self.epoch != epoch:
             return False  # crashed mid-command; NVRAM replay owns the intent
         self.env.process(self._complete_delete(namespace_id, key, version, handle, epoch))
+        oplog = self.oplog
+        if oplog.enabled:
+            oplog.record(
+                "delete", namespace_id, key, 0, started, self.env.now,
+                outcome="ok" if existed else "absent",
+            )
         return existed
 
     def _complete_delete(
@@ -1342,6 +1394,25 @@ class KamlSsd:
         collector.start()
         self.timeseries = collector
         return collector
+
+    def enable_oplog(
+        self, path: Optional[str] = None, capacity: int = 1 << 20
+    ) -> Any:
+        """Start the kamltrace op journal (``repro.obs.oplog``).
+
+        Opt-in only: with the default :data:`~repro.obs.oplog.NULL_OPLOG`
+        every choke point pays one attribute check and schedules zero
+        extra simulation events, so pinned digests and ``sim_events``
+        counts are untouched.  With ``path=None`` rows accumulate in
+        memory (``journal.rows``); with a path they stream as JSONL
+        (gzipped when the name ends in ``.gz``).  The caller owns
+        ``journal.close()`` for streamed captures.
+        """
+        from repro.obs.oplog import OpJournal
+
+        journal = OpJournal(path=path, capacity=capacity)
+        self.oplog = journal
+        return journal
 
     def utilization_report(self) -> Dict[str, Any]:
         """Operational snapshot of the device (monitoring/debug surface)."""

@@ -37,6 +37,15 @@ from repro.obs.trace import (
     write_chrome_trace,
 )
 from repro.obs.slo import SloBreach, SloPolicy, SloTracker
+from repro.obs.oplog import (
+    NULL_OPLOG,
+    OpJournal,
+    key_fingerprint,
+    load_journal,
+    mix_summary,
+    write_journal,
+)
+from repro.obs.diff import diff_reports, markdown_diff
 from repro.obs.profile import (
     COMPONENTS,
     KNOWN_SPAN_NAMES,
@@ -55,7 +64,9 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "KNOWN_SPAN_NAMES",
     "NULL_CONTEXT",
+    "NULL_OPLOG",
     "FlightRecorder",
+    "OpJournal",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -76,8 +87,13 @@ __all__ = [
     "collapsed_stacks",
     "component_of",
     "derived_metrics",
+    "diff_reports",
     "install_device_probes",
+    "key_fingerprint",
     "labels_key",
+    "load_journal",
+    "markdown_diff",
+    "mix_summary",
     "percentile",
     "summary_row",
     "to_builtin",
@@ -85,5 +101,6 @@ __all__ = [
     "to_text",
     "write_chrome_trace",
     "write_collapsed",
+    "write_journal",
     "write_json",
 ]

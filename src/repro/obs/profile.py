@@ -119,6 +119,8 @@ SPAN_COMPONENTS: Dict[str, str] = {
     "nand.program": "nand_program",
     "nand.erase": "nand_erase",
     "firmware.wait": "firmware_cpu",
+    # kamltrace replay driver (one root per replay run, not per op).
+    "replay.run": "other",
 }
 
 #: The registered span-name vocabulary (KL-OBS001 checks against this).

@@ -49,6 +49,9 @@ class SloBreach(NamedTuple):
     start_us: float
     end_us: float
     trace_id: int
+    #: kamltrace op-journal id of the breaching command (0 when capture
+    #: was off) — joins the breach back to the captured op for replay.
+    op_id: int = 0
 
 
 class SloTracker:
@@ -100,6 +103,7 @@ class SloTracker:
         start_us: float,
         end_us: float,
         trace_id: int = 0,
+        op_id: int = 0,
     ) -> Optional[SloBreach]:
         """Observe one command latency; returns the breach if any."""
         latency_us = end_us - start_us
@@ -129,6 +133,7 @@ class SloTracker:
                 start_us=start_us,
                 end_us=end_us,
                 trace_id=trace_id,
+                op_id=op_id,
             )
             if len(self.breaches) < self.max_breaches:
                 self.breaches.append(breach)

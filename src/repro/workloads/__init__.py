@@ -21,7 +21,24 @@ from repro.workloads.micro import (
 from repro.workloads.tpcb import TpcB
 from repro.workloads.tpcc import TpcC
 from repro.workloads.ycsb import Ycsb, YCSB_MIXES
-from repro.workloads.trace import Trace, TraceOp, replay, sequential_fill, synthesize
+from repro.workloads.trace import (
+    Trace,
+    TraceOp,
+    replay,
+    sequential_fill,
+    synthesize,
+    trace_from_journal,
+)
+from repro.workloads.replay import (
+    ReplayError,
+    ReplayIssue,
+    journal_to_issues,
+    prepare_namespaces,
+    replay_journal,
+    synth_diurnal,
+    synth_flashcrowd,
+    synth_hotkey,
+)
 
 __all__ = [
     "AliasZipfianChooser",
@@ -44,7 +61,16 @@ __all__ = [
     "YCSB_MIXES",
     "Trace",
     "TraceOp",
+    "ReplayError",
+    "ReplayIssue",
+    "journal_to_issues",
+    "prepare_namespaces",
     "replay",
+    "replay_journal",
     "sequential_fill",
+    "synth_diurnal",
+    "synth_flashcrowd",
+    "synth_hotkey",
     "synthesize",
+    "trace_from_journal",
 ]

@@ -142,6 +142,27 @@ def sequential_fill(keys: int, value_size: int = 1024) -> Trace:
     return Trace([TraceOp("put", key, value_size) for key in range(keys)])
 
 
+def trace_from_journal(rows, layer: str = "ssd") -> Trace:
+    """Flatten a kamltrace op journal into the compact text-trace format.
+
+    Scans are dropped and namespaces collapse (this format predates
+    both); use :mod:`repro.workloads.replay` when batch atomicity,
+    namespaces, or recorded timing matter.
+    """
+    trace = Trace()
+    for row in rows:
+        if row.get("layer", "ssd") != layer:
+            continue
+        op = row.get("op")
+        if op in ("get", "delete"):
+            trace.append(TraceOp(op, int(row["key_hash"])))
+        elif op == "put":
+            trace.append(
+                TraceOp("put", int(row["key_hash"]), int(row.get("size") or 0))
+            )
+    return trace
+
+
 # ---------------------------------------------------------------------------
 # Replay
 # ---------------------------------------------------------------------------

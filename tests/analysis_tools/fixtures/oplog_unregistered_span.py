@@ -1,0 +1,23 @@
+"""Fixture: a replay/capture driver emitting spans outside the taxonomy.
+
+The kamltrace replay engine wraps each run in a registered
+``replay.run`` root span; this fixture is the version of that code a
+careless patch would write — inventing per-op span names instead of
+registering them in ``SPAN_COMPONENTS`` first.
+"""
+
+
+def replay_with_unregistered_root(tracer, issues):
+    ctx = tracer.request("replay.bulk_reissue")  # KL-OBS001: unknown span name
+    for _issue in issues:
+        pass
+    ctx.close()
+
+
+def capture_flush_span(ctx, started):
+    ctx.record_span("oplog.flush_stall", start_us=started)  # KL-OBS001
+
+
+def registered_replay_root_is_fine(tracer):
+    ctx = tracer.request("replay.run")
+    ctx.close()

@@ -33,6 +33,7 @@ def test_production_tree_is_clean():
         ("bare_assert.py", "KL-INV001"),
         ("fault_peek.py", "KL-FLT001"),
         ("obs_unregistered_span.py", "KL-OBS001"),
+        ("oplog_unregistered_span.py", "KL-OBS001"),
     ],
 )
 def test_seeded_fixture_triggers_rule(fixture, rule):

@@ -117,11 +117,74 @@ def prof_breakdown_mini() -> Dict[str, Any]:
     }
 
 
+def ycsb_replay_mini() -> Dict[str, Any]:
+    """kamltrace round trip: capture YCSB-B, replay it, re-capture.
+
+    The captured journal (both layers), the re-captured device journal,
+    and the replayed run's clock are all hashed; ``match`` asserts the
+    replay re-issued the exact captured device-op sequence — the
+    capture -> replay -> capture invariant.  A change to the journal
+    schema, the batch regrouping, or replay issue order moves this
+    digest; with capture *disabled* the four digests above prove the
+    hooks themselves are free.
+    """
+    from repro.harness.runner import build_kaml_ssd, build_kaml_store
+    from repro.workloads import KamlAdapter, Ycsb
+    from repro.workloads.replay import (
+        journal_to_issues,
+        prepare_namespaces,
+        replay_journal,
+    )
+
+    env, ssd, store = build_kaml_store(cache_bytes=1 << 20)
+    journal = ssd.enable_oplog()
+    ycsb = Ycsb(env, KamlAdapter(store), records=60, workload="b", seed=17)
+    ycsb.setup()
+    ycsb.run(threads=2, ops_per_thread=10)
+    for _ in range(2):
+        settle = env.process(ssd.drain())
+        env.run_until(settle)
+    rows = list(journal.rows)
+    captured = [
+        (r["op"], r["layer"], r["ns"], r["key_hash"], r["size"], r["outcome"])
+        for r in rows
+    ]
+
+    env2, ssd2 = build_kaml_ssd()
+    mapping = prepare_namespaces(env2, ssd2, rows)
+    recapture = ssd2.enable_oplog()
+    result = replay_journal(
+        env2, ssd2, journal_to_issues(rows),
+        namespace_map=mapping, mode="closed", threads=1,
+    )
+    for _ in range(2):
+        settle = env2.process(ssd2.drain())
+        env2.run_until(settle)
+    replayed = [
+        (r["op"], r["ns"], r["key_hash"], r["size"], r["outcome"])
+        for r in recapture.rows
+    ]
+    device_view = [
+        (op, ns, key, size, outcome)
+        for op, layer, ns, key, size, outcome in captured
+        if layer == "ssd"
+    ]
+    return {
+        "captured": captured,
+        "replayed": replayed,
+        "match": replayed == device_view,
+        "replay_ops": result.ops,
+        "replay_elapsed_us": result.elapsed_us,
+        "sim_now_us": env2.now,
+    }
+
+
 SCENARIOS = {
     "fig5_mini": fig5_mini,
     "fig10_mini": fig10_mini,
     "crash_scenario": crash_scenario,
     "prof_breakdown_mini": prof_breakdown_mini,
+    "ycsb_replay_mini": ycsb_replay_mini,
 }
 
 #: Captured on the pre-rewrite kernel (commit ad2ae2b lineage); see
@@ -131,6 +194,7 @@ EXPECTED = {
     "fig10_mini": "7cfa5dc94e7349e555aaffc0f28db0de8a9695cec3e04e6a13d33efff3a1138f",
     "crash_scenario": "07b171a9e9b2658410fbb7dcdc48038cc47bf254de16613fc9ab7c1f8a66bce4",
     "prof_breakdown_mini": "86c897b6c9837273c3f3a54d4688a51e4513cd9682efe007def520d7d4d651be",
+    "ycsb_replay_mini": "ec43c50d765dfb96eb69d3692e4c08d0965a7f32c25572fa72f405de143749e7",
 }
 
 
@@ -148,6 +212,14 @@ def test_crash_scenario_digest():
 
 def test_prof_breakdown_mini_digest():
     assert digest(prof_breakdown_mini()) == EXPECTED["prof_breakdown_mini"]
+
+
+def test_ycsb_replay_mini_digest():
+    payload = ycsb_replay_mini()
+    # The replay must have re-issued the captured device-op sequence
+    # exactly — checked in the clear before the digest pins the rest.
+    assert payload["match"] is True
+    assert digest(payload) == EXPECTED["ycsb_replay_mini"]
 
 
 if __name__ == "__main__":
