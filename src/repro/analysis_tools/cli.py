@@ -4,12 +4,16 @@ Usage::
 
     python -m repro.analysis_tools src/repro            # human output
     python -m repro.analysis_tools --json src/repro     # machine output
+    python -m repro.analysis_tools --format github src/repro
     python -m repro.analysis_tools --lock-graph src/repro
     python -m repro.analysis_tools --list-rules
 
-Exit status: 0 when clean, 1 when violations were found, 2 on usage
-errors.  Pre-commit passes individual changed files as arguments; CI
-passes the whole tree.
+Exit status: 0 when clean, 1 when violations were found (or stale
+pragmas under ``--strict-pragmas``), 2 on usage errors — including an
+unknown rule id in ``--rules``.  Pre-commit passes individual changed
+files as arguments; CI passes the whole tree with ``--format github``
+so findings annotate the PR diff, plus ``--json-out`` for the report
+artifact.
 """
 
 from __future__ import annotations
@@ -19,22 +23,45 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.analysis_tools.core import run_lint
+from repro.analysis_tools.core import (
+    RULE_CATALOGUE,
+    LintReport,
+    UnknownRuleError,
+    Violation,
+    run_analysis,
+)
 from repro.analysis_tools.locks import build_lock_graph, find_cycles
 
-#: rule id -> one-line description (kept in sync with docs/static-analysis.md)
-RULES = {
-    "KL-DET001": "no wall-clock reads outside harness.reporting.wallclock()",
-    "KL-DET002": "no module-level random.*; inject seeded random.Random",
-    "KL-DET003": "no iteration over set-typed values (hash-order leak)",
-    "KL-CTX001": "a held TraceContext must be passed to ctx-accepting callees",
-    "KL-LCK001": "latch-style locks release in the acquiring function",
-    "KL-LCK002": "the static lock-order graph must be acyclic",
-    "KL-SIM001": "sim processes (generators) must not call host I/O",
-    "KL-INV001": "no assert guards; raise repro.errors.InvariantError",
-    "KL-FLT001": "fault-injection code must not read mapping-table state",
-    "KL-OBS001": "span names and component= tags must be in the kamlprof taxonomy",
-}
+#: Back-compat alias: the catalogue moved to core so the CLI, ``--rules``
+#: validation, and the pragma audit share one source of truth.
+RULES = RULE_CATALOGUE
+
+
+def _github_escape(text: str) -> str:
+    """Escape message data for a GitHub workflow command."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def _render_github(violation: Violation) -> str:
+    message = violation.message
+    if violation.trace:
+        message += " [via: " + " -> ".join(violation.trace) + "]"
+    return (
+        f"::error file={violation.path},line={violation.line},"
+        f"col={violation.col + 1},title={violation.rule}::"
+        + _github_escape(message)
+    )
+
+
+def _report_payload(report: LintReport) -> dict:
+    return {
+        "violations": [violation.to_dict() for violation in report.violations],
+        "count": len(report.violations),
+        "stale_pragmas": [stale.to_dict() for stale in report.stale_pragmas],
+        "modules": report.module_count,
+    }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -43,10 +70,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="kamllint: protocol/determinism static analysis for src/repro.",
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
-    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--format",
+        choices=("text", "github", "json"),
+        default="text",
+        help="output format (github emits workflow error annotations)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (alias for --format json)",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="PATH",
+        help="additionally write the JSON report to a file (CI artifact)",
+    )
     parser.add_argument(
         "--rules",
         help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--strict-pragmas",
+        action="store_true",
+        help="fail (exit 1) when stale allow[...] pragmas are found",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="list rule ids and exit"
@@ -59,7 +106,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule, description in sorted(RULES.items()):
+        for rule, description in sorted(RULE_CATALOGUE.items()):
             print(f"{rule}  {description}")
         return 0
 
@@ -71,10 +118,6 @@ def main(argv: Optional[List[str]] = None) -> int:
     rules = None
     if args.rules:
         rules = [rule.strip() for rule in args.rules.split(",") if rule.strip()]
-        unknown = [rule for rule in rules if rule not in RULES]
-        if unknown:
-            print(f"error: unknown rule ids: {', '.join(unknown)}", file=sys.stderr)
-            return 2
 
     if args.lock_graph:
         from repro.analysis_tools.core import load_modules
@@ -95,21 +138,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 1 if payload["cycles"] else 0
 
-    findings = run_lint(args.paths, rules=rules)
-    if args.json:
-        print(
-            json.dumps(
-                {
-                    "violations": [violation.to_dict() for violation in findings],
-                    "count": len(findings),
-                },
-                indent=2,
-                sort_keys=True,
+    try:
+        report = run_analysis(args.paths, rules=rules)
+    except UnknownRuleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    output_format = "json" if args.json else args.format
+    payload = _report_payload(report)
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if output_format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif output_format == "github":
+        for violation in report.violations:
+            print(_render_github(violation))
+        for stale in report.stale_pragmas:
+            print(
+                f"::warning file={stale.path},line={max(stale.line, 1)},"
+                f"title=stale-pragma::" + _github_escape(stale.message)
             )
-        )
     else:
-        for violation in findings:
+        for violation in report.violations:
             print(violation.render())
-        summary = f"kamllint: {len(findings)} violation(s)"
-        print(summary if findings else "kamllint: clean")
-    return 1 if findings else 0
+        for stale in report.stale_pragmas:
+            print(stale.render())
+        summary = f"kamllint: {len(report.violations)} violation(s)"
+        if report.stale_pragmas:
+            summary += f", {len(report.stale_pragmas)} stale pragma(s)"
+        print(summary if (report.violations or report.stale_pragmas) else "kamllint: clean")
+
+    if report.violations:
+        return 1
+    if args.strict_pragmas and report.stale_pragmas:
+        return 1
+    return 0

@@ -15,7 +15,6 @@ receivers escape the rule — reviewers still own those.
 from __future__ import annotations
 
 import ast
-import re
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis_tools.core import (
@@ -27,25 +26,13 @@ from repro.analysis_tools.core import (
     register_pass,
     walk_own,
 )
+from repro.analysis_tools.graph import Project, class_aliases
 
 CTX_PARAM = "ctx"
 
-
-def _snake(name: str) -> str:
-    return re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
-
-
-def _aliases(class_name: str) -> Set[str]:
-    """Receiver spellings that plausibly hold an instance of the class."""
-    snake = _snake(class_name)  # KamlLog -> kaml_log
-    aliases = {snake, snake.replace("_", "")}
-    parts = snake.split("_")
-    aliases.add(parts[-1])          # kaml_log -> log
-    aliases.add(parts[-1] + "s")    # collections: logs[i]
-    if parts[0] in ("kaml", "repro"):
-        aliases.add("_".join(parts[1:]))
-    aliases.add("self")             # sibling methods on the same class
-    return aliases
+#: The alias resolver now lives in the call-graph module (the project
+#: resolver grew out of this rule); kept as a local name for callers.
+_aliases = class_aliases
 
 
 def _params(func: ast.FunctionDef) -> List[str]:
@@ -107,8 +94,9 @@ def _receiver_matches(
 
 
 @register_pass
-def ctx001_propagation(modules: List[LintModule]) -> List[Violation]:
+def ctx001_propagation(project: Project) -> List[Violation]:
     """KL-CTX001: thread a held ``ctx`` into every ctx-accepting callee."""
+    modules = project.modules
     accepting = _accepting_defs(modules)
     findings: List[Violation] = []
     for module in modules:

@@ -1,0 +1,259 @@
+"""Forward dataflow over one function: shared-attribute reads and writes.
+
+The engine the KL-RACE001 pass runs on every function a sim process can
+reach.  It answers two questions about ``self.*``-style shared state:
+
+* **Cross-yield stale reads** — a local picked up from a shared
+  attribute (``loc = self.mapping[key]``), a ``yield`` (the sim
+  scheduler may run other processes), then a use of the stale local.
+  Between the load and the use the attribute may have been mutated by
+  another process; synchronous-blocks-are-atomic does not protect a
+  value carried *across* a yield.
+* **Attribute writes** — assignments, aug-assignments, deletes and
+  known mutator-method calls (``.pop``/``.append``/...) against an
+  attribute whose owner class the project resolver can name.
+
+Both are reported with the ``SimLock`` sites held at the access, so the
+race pass can discharge pairs protected by a common latch.
+
+The walk is positional rather than a full CFG: events (loads, kills,
+yields, uses, writes) are collected in source order and windows are
+compared by position.  For linting generators — short functions, mostly
+straight-line between yields — this matches execution order closely
+enough, and mismatches err toward *missing* exotic flows rather than
+inventing them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.analysis_tools.core import dotted_name, walk_own
+from repro.analysis_tools.graph import FunctionInfo, Project
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = {
+    "add",
+    "append",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "remove",
+    "setdefault",
+    "update",
+}
+
+Pos = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class AttrRead:
+    """A shared-attribute value used after crossing at least one yield."""
+
+    key: str            # "OwnerClass.attr"
+    var: str            # the local carrying the stale value
+    load_line: int
+    load_col: int
+    use_line: int
+    use_col: int
+    locks: FrozenSet[str]   # lock sites held across the load→use window
+
+
+@dataclass(frozen=True)
+class AttrWrite:
+    """A mutation of a shared attribute."""
+
+    key: str
+    line: int
+    col: int
+    locks: FrozenSet[str]
+    desc: str           # "assignment", ".pop()", "del", ...
+
+
+@dataclass
+class FlowSummary:
+    """What one function does to resolvable shared attributes."""
+
+    reads: List[AttrRead]
+    writes: List[AttrWrite]
+
+
+def _attr_key(project: Project, info: FunctionInfo, node: ast.AST) -> Optional[str]:
+    """``OwnerClass.attr`` for an attribute (or subscripted-attribute)
+    expression whose base the resolver can type; None otherwise."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if not isinstance(node, ast.Attribute):
+        return None
+    base = dotted_name(node.value)
+    owner = project.resolve_attr_base(info, base)
+    if owner is None:
+        return None
+    return f"{owner}.{node.attr}"
+
+
+def analyze_function(project: Project, info: FunctionInfo) -> FlowSummary:
+    """Collect cross-yield attribute reads and attribute writes."""
+    loads: List[Tuple[Pos, str, str]] = []      # (pos, var, key)
+    kills: Dict[str, List[Pos]] = {}            # var -> store positions
+    uses: Dict[str, List[Pos]] = {}             # var -> load positions
+    guards: Dict[Tuple[str, str], List[Pos]] = {}   # (var, key) -> guard positions
+    guard_uses: set = set()                     # (var, pos) consumed by guards
+    yields: List[Pos] = []
+    writes: List[AttrWrite] = []
+
+    nodes = sorted(walk_own(info.func), key=lambda n: (
+        getattr(n, "lineno", 0), getattr(n, "col_offset", 0)))
+
+    # Guard comparisons first: `if self.epoch != epoch:` compares the
+    # carried local against a *fresh* load of the same attribute — that
+    # is the revalidation idiom itself (the crash-epoch guard, the
+    # pin-then-recheck pattern), so the compare is not a stale use and
+    # everything downstream of it starts a freshly-validated window.
+    for node in nodes:
+        if not isinstance(node, ast.Compare):
+            continue
+        sides = [node.left] + list(node.comparators)
+        names = [s for s in sides if isinstance(s, ast.Name) and isinstance(s.ctx, ast.Load)]
+        for side in sides:
+            key = _attr_key(project, info, side)
+            if key is None:
+                continue
+            for name in names:
+                pos = (name.lineno, name.col_offset)
+                guards.setdefault((name.id, key), []).append(pos)
+                guard_uses.add((name.id, pos))
+
+    for node in nodes:
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            yields.append((node.lineno, node.col_offset))
+        elif isinstance(node, ast.Name):
+            pos = (node.lineno, node.col_offset)
+            if isinstance(node.ctx, ast.Store):
+                kills.setdefault(node.id, []).append(pos)
+            elif isinstance(node.ctx, ast.Load) and (node.id, pos) not in guard_uses:
+                uses.setdefault(node.id, []).append(pos)
+        elif isinstance(node, ast.Assign):
+            if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+                key = _attr_key(project, info, node.value)
+                if key is not None:
+                    loads.append(
+                        ((node.lineno, node.col_offset), node.targets[0].id, key)
+                    )
+            for target in node.targets:
+                _record_attr_store(project, info, target, writes, "assignment")
+        elif isinstance(node, ast.AugAssign):
+            _record_attr_store(project, info, node.target, writes, "aug-assignment")
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                _record_attr_store(project, info, target, writes, "del")
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in MUTATOR_METHODS:
+                key = _attr_key(project, info, node.func.value)
+                if key is not None:
+                    writes.append(
+                        AttrWrite(
+                            key=key,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            locks=frozenset(),
+                            desc=f".{node.func.attr}()",
+                        )
+                    )
+
+    timeline = project.lock_timeline(info)
+    reads = _cross_yield_reads(loads, kills, uses, guards, yields, timeline)
+    writes = [
+        AttrWrite(
+            key=w.key,
+            line=w.line,
+            col=w.col,
+            locks=timeline.held_at(w.line, w.col),
+            desc=w.desc,
+        )
+        for w in writes
+    ]
+    return FlowSummary(reads=reads, writes=writes)
+
+
+def _record_attr_store(
+    project: Project,
+    info: FunctionInfo,
+    target: ast.AST,
+    writes: List[AttrWrite],
+    desc: str,
+) -> None:
+    if isinstance(target, (ast.Attribute, ast.Subscript)):
+        key = _attr_key(project, info, target)
+        if key is not None:
+            writes.append(
+                AttrWrite(
+                    key=key,
+                    line=target.lineno,
+                    col=target.col_offset,
+                    locks=frozenset(),
+                    desc=desc,
+                )
+            )
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _record_attr_store(project, info, element, writes, desc)
+
+
+def _cross_yield_reads(
+    loads: List[Tuple[Pos, str, str]],
+    kills: Dict[str, List[Pos]],
+    uses: Dict[str, List[Pos]],
+    guards: Dict[Tuple[str, str], List[Pos]],
+    yields: List[Pos],
+    timeline,
+) -> List[AttrRead]:
+    """Uses of a tracked local with a yield since its last fresh point.
+
+    Fresh points are the original attribute load plus every guard
+    comparison of the same (var, key) pair: a guard re-checks the local
+    against current state, so only a yield *after* the latest fresh
+    point makes a subsequent use stale.
+    """
+    reads: List[AttrRead] = []
+    seen = set()
+    for load_pos, var, key in loads:
+        fresh_points = [load_pos] + list(guards.get((var, key), []))
+        for use_pos in sorted(uses.get(var, ())):
+            if use_pos <= load_pos:
+                continue
+            fresh = max(p for p in fresh_points if p < use_pos)
+            # A reassignment after the fresh point retires the tracked
+            # value (same-line stores are the use's own statement).
+            killed = any(
+                fresh < kill_pos <= use_pos and kill_pos[0] != use_pos[0]
+                for kill_pos in kills.get(var, ())
+            )
+            if killed:
+                break
+            if not any(fresh < y < use_pos for y in yields):
+                continue
+            dedup = (key, var, load_pos)
+            if dedup in seen:
+                break
+            seen.add(dedup)
+            # Protected only by locks held at the load AND still at the use.
+            locks = timeline.held_at(*load_pos) & timeline.held_at(*use_pos)
+            reads.append(
+                AttrRead(
+                    key=key,
+                    var=var,
+                    load_line=load_pos[0],
+                    load_col=load_pos[1],
+                    use_line=use_pos[0],
+                    use_col=use_pos[1],
+                    locks=locks,
+                )
+            )
+            break
+    return reads

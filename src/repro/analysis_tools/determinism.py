@@ -19,6 +19,7 @@ from repro.analysis_tools.core import (
     dotted_name,
     register_pass,
 )
+from repro.analysis_tools.graph import Project
 
 #: Dotted-call suffixes that read the host clock.
 _WALLCLOCK_SUFFIXES = (
@@ -52,13 +53,14 @@ def _matches_wallclock(dotted: str) -> bool:
 
 
 @register_pass
-def det001_wall_clock(modules: List[LintModule]) -> List[Violation]:
+def det001_wall_clock(project: Project) -> List[Violation]:
     """KL-DET001: sim/firmware code must not read the host clock.
 
     All timing flows from ``Environment.now``; the one sanctioned
     boundary is the allowlisted ``wallclock()`` helper in
     ``repro.harness.reporting``.
     """
+    modules = project.modules
     findings = []
     for module in modules:
         if module.subpackage in TOOLING_SUBPACKAGES:
@@ -94,13 +96,14 @@ def det001_wall_clock(modules: List[LintModule]) -> List[Violation]:
 
 
 @register_pass
-def det002_global_random(modules: List[LintModule]) -> List[Violation]:
+def det002_global_random(project: Project) -> List[Violation]:
     """KL-DET002: only injected, seeded ``random.Random`` instances.
 
     The module-level functions share one process-global generator whose
     state depends on import order and every other caller — a seed leak
     across otherwise-independent experiments.
     """
+    modules = project.modules
     findings = []
     for module in modules:
         if module.subpackage in TOOLING_SUBPACKAGES:
@@ -182,7 +185,7 @@ def _collect_set_locals(func: ast.AST) -> Set[str]:
 
 
 @register_pass
-def det003_set_iteration(modules: List[LintModule]) -> List[Violation]:
+def det003_set_iteration(project: Project) -> List[Violation]:
     """KL-DET003: no iteration over set-typed expressions.
 
     Set iteration order depends on element hashes (salted for strings),
@@ -191,6 +194,7 @@ def det003_set_iteration(modules: List[LintModule]) -> List[Violation]:
     Detection is syntactic plus single-function local inference; sets
     that cross function boundaries are the reviewer's job.
     """
+    modules = project.modules
     findings = []
     for module in modules:
         if module.subpackage in TOOLING_SUBPACKAGES:

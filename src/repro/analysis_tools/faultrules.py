@@ -18,6 +18,7 @@ from repro.analysis_tools.core import (
     Violation,
     register_pass,
 )
+from repro.analysis_tools.graph import Project
 
 #: Device-private state fault code must never read: the per-namespace
 #: mapping table and the SSD's install/staging bookkeeping.
@@ -37,7 +38,7 @@ def _is_fault_module(module: LintModule) -> bool:
 
 
 @register_pass
-def flt001_no_mapping_peek(modules: List[LintModule]) -> List[Violation]:
+def flt001_no_mapping_peek(project: Project) -> List[Violation]:
     """KL-FLT001: fault-injection code must not read mapping-table state.
 
     Flags every Load-context attribute access to the forbidden names in
@@ -45,6 +46,7 @@ def flt001_no_mapping_peek(modules: List[LintModule]) -> List[Violation]:
     are not flagged — there are none to write to from outside, and the
     Load restriction is what keeps verification honest.
     """
+    modules = project.modules
     findings = []
     for module in modules:
         if not _is_fault_module(module):

@@ -7,8 +7,11 @@ Sites are identified by receiver text, canonicalised to
 * per-function: every latch-style ``X.acquire(...)`` must see a
   matching ``X.release*()`` in the same function (KL-LCK001), and
   acquires nested inside a held lock add ``held -> wanted`` edges;
-* one level of call expansion: calling a local function while holding a
-  lock adds edges from the held site to the callee's own acquires.
+* full call-depth expansion: calling a function while holding a lock
+  adds edges from the held site to every acquire in the callee's whole
+  (non-spawn) transitive call tree, resolved through the project call
+  graph; the legacy name-based one-level expansion is kept for callees
+  the resolver cannot type.
 
 Cycles in the resulting graph are SS2PL deadlock candidates
 (KL-LCK002).  The runtime sanitizer records the orders a real run
@@ -34,6 +37,7 @@ from repro.analysis_tools.core import (
     register_pass,
     walk_own,
 )
+from repro.analysis_tools.graph import Project
 
 #: Classes whose own methods are the lock implementation, not clients.
 IMPLEMENTATION_CLASSES = {
@@ -130,10 +134,10 @@ def _collect(modules: Sequence[LintModule]) -> List[_FunctionLocks]:
 
 
 @register_pass
-def lck001_pairing(modules: List[LintModule]) -> List[Violation]:
+def lck001_pairing(project: Project) -> List[Violation]:
     """KL-LCK001: latch-style locks release in the acquiring function."""
     findings = []
-    for info in _collect(modules):
+    for info in _collect(project.modules):
         if info.class_name in IMPLEMENTATION_CLASSES:
             continue
         for site, line in info.unreleased:
@@ -154,8 +158,24 @@ def lck001_pairing(modules: List[LintModule]) -> List[Violation]:
 
 def build_lock_graph(
     modules: Sequence[LintModule],
+    project: Optional[Project] = None,
 ) -> Dict[Tuple[str, str], List[Tuple[str, int]]]:
-    """The static lock-order graph: edge -> [(path, line), ...]."""
+    """The static lock-order graph: edge -> [(path, line), ...].
+
+    Two expansion layers feed the graph beyond each function's own
+    nested acquires:
+
+    * **Full call depth** (graph-resolved): a callsite executed while a
+      lock is held orders that lock before every acquire anywhere in
+      the callee's transitive non-spawn call tree.  Spawn edges are
+      excluded — a spawned process does not run under the spawner's
+      latch (it is scheduled later, after the release).
+    * **Legacy name-based, one level**: callee names the resolver cannot
+      type still expand against every same-named function, so renamed
+      receivers degrade to the old behaviour instead of vanishing.
+    """
+    if project is None:
+        project = Project(modules)
     infos = _collect(modules)
     by_name: Dict[str, List[_FunctionLocks]] = {}
     for info in infos:
@@ -176,6 +196,27 @@ def build_lock_graph(
             for callee_info in by_name.get(callee, ()):  # noqa: B007
                 for target, _acq_line in callee_info.acquires:
                     add(held_site, target, path, line)
+
+    # Full-depth expansion over the resolved call graph.
+    for uid in sorted(project.functions):
+        caller = project.functions[uid]
+        timeline = project.lock_timeline(caller)
+        if not any(kind == "acq" for _pos, kind, _site in timeline.events):
+            continue
+        for site in project.call_edges.get(uid, ()):  # noqa: B007
+            if site.spawn:
+                continue
+            held = timeline.held_at(site.line, site.col)
+            if not held:
+                continue
+            for reached_uid in sorted(project.reachable(site.callee)):
+                reached = project.functions[reached_uid]
+                reached_timeline = project.lock_timeline(reached)
+                for _pos, kind, acq_site in reached_timeline.events:
+                    if kind != "acq":
+                        continue
+                    for held_site in sorted(held):
+                        add(held_site, acq_site, str(caller.path), site.line)
     return edges
 
 
@@ -206,9 +247,9 @@ def find_cycles(
 
 
 @register_pass
-def lck002_lock_order(modules: List[LintModule]) -> List[Violation]:
+def lck002_lock_order(project: Project) -> List[Violation]:
     """KL-LCK002: the static lock-order graph must stay acyclic."""
-    edges = build_lock_graph(modules)
+    edges = build_lock_graph(project.modules, project=project)
     findings = []
     for cycle in find_cycles(edges):
         first_edge = (cycle[0], cycle[1])

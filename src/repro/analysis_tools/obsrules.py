@@ -29,6 +29,7 @@ from repro.analysis_tools.core import (
     receiver_text,
     register_pass,
 )
+from repro.analysis_tools.graph import Project
 from repro.obs.profile import COMPONENTS, KNOWN_SPAN_NAMES
 
 RULE = "KL-OBS001"
@@ -55,7 +56,8 @@ def _first_literal(call: ast.Call) -> "ast.Constant | None":
 
 
 @register_pass
-def span_taxonomy_pass(modules: List[LintModule]) -> List[Violation]:
+def span_taxonomy_pass(project: Project) -> List[Violation]:
+    modules = project.modules
     findings: List[Violation] = []
     for module in modules:
         if module.subpackage in TOOLING_SUBPACKAGES:

@@ -670,6 +670,7 @@ class KamlSsd:
             put_span.tags["crashed"] = True
             if owns_ctx:
                 ctx.close()
+            # kamllint: allow[KL-RES001] crash path keeps the NVRAM reservation: replay owns it
             return None  # crashed mid-command; NVRAM replay owns the batch
         # Phase 1: reserve/inspect every key's index entry (probe CPU cost)
         # and stage the whole batch atomically in NVRAM.  Concurrent Puts
@@ -704,6 +705,7 @@ class KamlSsd:
             put_span.tags["crashed"] = True
             if owns_ctx:
                 ctx.close()
+            # kamllint: allow[KL-RES001] crash path keeps the NVRAM reservation: replay owns it
             return None
         versions = []
         for item in items:
@@ -844,7 +846,12 @@ class KamlSsd:
         )
         handle = yield self.nvram.reserve(RECORD_HEADER_BYTES, payload=batch)
         if self.epoch != epoch:
+            # kamllint: allow[KL-RES001] crash path keeps the reserved tombstone: replay owns it
             return False  # crashed mid-command; NVRAM replay owns the intent
+        # `version` is the phase-1 snapshot by design: version ordering
+        # replaces entry locks, so the install must use the version taken
+        # before the yield rather than re-reading the counter.
+        # kamllint: allow[KL-RACE001] phase-1 version snapshot orders the install
         self.env.process(self._complete_delete(namespace_id, key, version, handle, epoch))
         oplog = self.oplog
         if oplog.enabled:
@@ -1165,6 +1172,10 @@ class KamlSsd:
                 versioned=batch.versions is not None,
             )
         self._dram_lost = False
+        # `scan_mode` records whether *this* recovery had to scan flash; a
+        # power cut landing mid-recovery bumps the epoch and the harness
+        # restarts recover() from scratch, so the stale flag is never trusted.
+        # kamllint: allow[KL-RACE001] snapshot of this recovery's own mode
         if scan_mode and sanitize.enabled():
             # SAN-OOB / SAN-VALID: the rebuilt mapping tables, the OOB
             # bitmaps they reference, and valid-byte accounting must all

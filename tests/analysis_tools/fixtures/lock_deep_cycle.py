@@ -1,0 +1,37 @@
+"""Seeded violation: KL-LCK002 at full call depth.
+
+The conflicting acquires sit two helper calls below the held locks, so
+the legacy one-level expansion never sees the cycle; only the call-graph
+walk connects ``a -> b`` (via ``fwd -> _step1 -> _step2``) with
+``b -> a`` (via ``rev -> _leg1 -> _leg2``).
+"""
+
+
+class Shuttle:
+    def __init__(self, lock_a, lock_b):
+        self.a = lock_a
+        self.b = lock_b
+
+    def fwd(self):
+        yield self.a.acquire(owner="fwd")
+        yield from self._step1()
+        self.a.release()
+
+    def _step1(self):
+        yield from self._step2()
+
+    def _step2(self):
+        yield self.b.acquire(owner="step2")
+        self.b.release()
+
+    def rev(self):
+        yield self.b.acquire(owner="rev")
+        yield from self._leg1()
+        self.b.release()
+
+    def _leg1(self):
+        yield from self._leg2()
+
+    def _leg2(self):
+        yield self.a.acquire(owner="leg2")
+        self.a.release()

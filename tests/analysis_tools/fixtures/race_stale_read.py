@@ -1,0 +1,37 @@
+"""Seeded violation: KL-RACE001 — the PR 5 read-vs-GC relocation race.
+
+A reader process looks a key's flash location up from the shared
+mapping, yields for firmware/flash time, then trusts the stale
+location — while the GC process concurrently relocates the record and
+rewrites the same mapping entry.  No common lock covers the pair.
+"""
+
+
+class RaceDevice:
+    def __init__(self, env):
+        self.env = env
+        self.mapping = {}
+        self.flash = {}
+
+    def boot(self):
+        self.env.process(self._read_process(7))
+        self.env.process(self._gc_process())
+
+    def _read_process(self, key):
+        yield from self._do_get(key)
+
+    def _do_get(self, key):
+        location = self.mapping[key]
+        yield self.env.timeout(70.0)  # flash cell read
+        # KL-RACE001: `location` may be stale — GC relocated the record
+        # while this process was suspended at the yield above.
+        return self.flash[location]
+
+    def _gc_process(self):
+        yield self.env.timeout(5.0)
+        yield from self._relocate(7)
+
+    def _relocate(self, key):
+        destination = len(self.flash)
+        yield self.env.timeout(700.0)  # program the copy
+        self.mapping[key] = destination

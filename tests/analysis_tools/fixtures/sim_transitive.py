@@ -1,0 +1,27 @@
+"""Seeded violation: KL-SIM002 — host I/O two calls below a sim process.
+
+The generator's own body is clean (KL-SIM001 stays silent); the
+blocking ``open`` hides in a helper's helper, visible only through the
+call graph.
+"""
+
+
+class DumpingMonitor:
+    def __init__(self, env):
+        self.env = env
+        self.samples = []
+
+    def run(self):
+        while True:
+            yield self.env.timeout(1000.0)
+            self.samples.append(self.env.now)
+            self._maybe_flush()
+
+    def _maybe_flush(self):
+        if len(self.samples) > 16:
+            self._dump("samples.json")
+
+    def _dump(self, path):
+        with open(path, "w") as sink:  # KL-SIM002: reachable from run()
+            sink.write(repr(self.samples))
+        self.samples = []

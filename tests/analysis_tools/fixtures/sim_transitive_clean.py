@@ -1,0 +1,24 @@
+"""Clean fixture: a sim process whose whole call tree is host-I/O free.
+
+Same shape as ``sim_transitive.py`` — generator, helper, helper's
+helper — but the leaf only computes, so KL-SIM002 stays silent.
+"""
+
+
+class QuietMonitor:
+    def __init__(self, env):
+        self.env = env
+        self.samples = []
+
+    def run(self):
+        while True:
+            yield self.env.timeout(1000.0)
+            self.samples.append(self.env.now)
+            self._maybe_trim()
+
+    def _maybe_trim(self):
+        if len(self.samples) > 16:
+            self._compact()
+
+    def _compact(self):
+        self.samples = self.samples[-8:]

@@ -35,6 +35,41 @@ def test_rules_filter_and_unknown_rule(capsys):
     assert main(["--rules", "KL-BOGUS", str(FIXTURES)]) == 2
 
 
+def test_unknown_rule_names_the_offender(capsys):
+    assert main(["--rules", "KL-NOPE,KL-INV001", str(FIXTURES)]) == 2
+    err = capsys.readouterr().err
+    assert "KL-NOPE" in err
+    assert "KL-INV001" not in err
+
+
+def test_github_format_emits_workflow_annotations(capsys):
+    assert main(["--format", "github", str(FIXTURES / "sim_transitive.py")]) == 1
+    out = capsys.readouterr().out
+    assert "::error file=" in out
+    assert "title=KL-SIM002" in out
+    assert "via:" in out  # call-chain trace rides along in the annotation
+
+
+def test_json_out_writes_report_artifact(tmp_path, capsys):
+    report = tmp_path / "kamllint.json"
+    assert main(["--json-out", str(report), str(FIXTURES / "res_leak.py")]) == 1
+    capsys.readouterr()
+    payload = json.loads(report.read_text())
+    assert payload["count"] == len(payload["violations"]) > 0
+    assert all(v["rule"] == "KL-RES001" for v in payload["violations"])
+    assert "stale_pragmas" in payload
+
+
+def test_strict_pragmas_fails_on_stale_allow(tmp_path, capsys):
+    stale = tmp_path / "stale.py"
+    stale.write_text("# kamllint: allow[KL-INV001] nothing here asserts\nx = 1\n")
+    assert main([str(stale)]) == 0  # advisory by default
+    capsys.readouterr()
+    assert main(["--strict-pragmas", str(stale)]) == 1
+    out = capsys.readouterr().out
+    assert "stale pragma" in out
+
+
 def test_no_paths_is_usage_error():
     assert main([]) == 2
 

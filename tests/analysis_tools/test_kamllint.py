@@ -34,10 +34,26 @@ def test_production_tree_is_clean():
         ("fault_peek.py", "KL-FLT001"),
         ("obs_unregistered_span.py", "KL-OBS001"),
         ("oplog_unregistered_span.py", "KL-OBS001"),
+        ("race_stale_read.py", "KL-RACE001"),
+        ("res_leak.py", "KL-RES001"),
+        ("sim_transitive.py", "KL-SIM002"),
+        ("lock_deep_cycle.py", "KL-LCK002"),
     ],
 )
 def test_seeded_fixture_triggers_rule(fixture, rule):
     assert rule in rules_for(fixture)
+
+
+@pytest.mark.parametrize(
+    "fixture",
+    [
+        "race_locked.py",
+        "res_paired.py",
+        "sim_transitive_clean.py",
+    ],
+)
+def test_paired_clean_fixture_stays_silent(fixture):
+    assert run_lint([FIXTURES / fixture]) == []
 
 
 def test_obs_rule_flags_names_and_tags_but_not_dynamic_names():
