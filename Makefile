@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-sanitized lint kamllint lint-deep format bench-smoke bench-perf prof perf-gate rebaseline obs-demo crash-matrix record replay diff
+.PHONY: test test-sanitized lint kamllint lint-deep format bench-smoke bench-perf bench-cluster prof perf-gate rebaseline obs-demo crash-matrix cluster-matrix record replay diff
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,9 +21,9 @@ kamllint:
 	$(PYTHON) -m repro.analysis_tools src/repro
 
 # Everything the CI lint-deep job runs: mypy gates hard on the strict
-# obs/sim modules and stays advisory on the rest of the tree.
+# obs/sim/cluster modules and stays advisory on the rest of the tree.
 lint-deep: kamllint
-	mypy -p repro.sim -p repro.obs
+	mypy -p repro.sim -p repro.obs -p repro.cluster
 	-mypy src/repro
 
 format:
@@ -50,21 +50,37 @@ prof:
 		--flame-out benchmarks/artifacts/prof.folded \
 		--timeseries-out benchmarks/artifacts/timeseries.json
 
-# Compare the freshest smoke-bench + perf + prof artifacts against
-# baseline.json.
+# Cluster serving-tier benchmark at the gated configuration (4 shards x
+# 3 seeds); the artifact's aggregate throughput and rebalance p99 feed
+# the perf gate.
+bench-cluster:
+	mkdir -p benchmarks/artifacts
+	$(PYTHON) -m repro.harness cluster --shards 4 --seeds 1,2,3 \
+		--json-out benchmarks/artifacts/cluster.json
+
+# Compare the freshest smoke-bench + perf + prof + cluster artifacts
+# against baseline.json.
 perf-gate:
 	$(PYTHON) benchmarks/compare_baseline.py
 
 # Refresh the checked-in baseline after an *intentional* performance shift:
-# re-runs the smoke bench, the throughput benchmark, and the profiler,
-# rewrites baseline.json with every gated metric, and you commit the result.
-rebaseline: bench-smoke bench-perf prof
+# re-runs the smoke bench, the throughput benchmark, the profiler, and
+# the cluster tier, rewrites baseline.json with every gated metric, and
+# you commit the result.
+rebaseline: bench-smoke bench-perf prof bench-cluster
 	$(PYTHON) benchmarks/compare_baseline.py --rebaseline
 
 # Power-loss crash-consistency matrix: every crash point x 3 seeds, with
 # runtime sanitizers armed — the same sweep the CI crash-matrix job runs.
 crash-matrix:
 	KAML_SANITIZE=1 $(PYTHON) -m repro.harness crash --matrix --seeds 1,2,3
+
+# Sharded serving-tier matrix: shard counts x 3 seeds, each cell driving
+# the multi-tenant workload plus a mid-run autobalancer migration, with
+# runtime sanitizers armed — the same sweep the CI cluster-matrix job runs.
+cluster-matrix:
+	KAML_SANITIZE=1 $(PYTHON) -m repro.harness cluster \
+		--shards 2,4,8 --seeds 1,2,3
 
 obs-demo:
 	$(PYTHON) -m repro.harness obs --ops 200 --slo-put-us 100 \

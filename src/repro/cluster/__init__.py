@@ -1,0 +1,50 @@
+"""Sharded multi-device serving tier over simulated KAML SSDs.
+
+The cluster generalizes the paper's single-device tuning story to
+shard-to-device placement across N devices sharing one simulated clock:
+string-named logical namespaces route by key hash or home shard
+(:mod:`placement`), bounded per-shard queues apply SLO-aware admission
+control (:mod:`scheduler`), tenants carry latency budgets
+(:mod:`qos`), cross-shard atomic Puts run a host-side presumed-abort
+2PC over each device's NVRAM prepare/replay machinery (:mod:`twopc`),
+and hot shards detected from time-series probes trigger namespace
+migration (:mod:`balance`).  See docs/cluster.md.
+"""
+
+from repro.cluster.balance import Autobalancer, HotShardDetector, install_cluster_probes
+from repro.cluster.cluster import ClusterConfig, KamlCluster
+from repro.cluster.device import Device
+from repro.cluster.errors import AdmissionError, ClusterError, TwoPhaseCommitError
+from repro.cluster.placement import (
+    LogicalNamespace,
+    PlacementMap,
+    key_shard_slot,
+)
+from repro.cluster.qos import QosManager, TenantPolicy
+from repro.cluster.scheduler import ShardScheduler
+from repro.cluster.twopc import (
+    IntentJournal,
+    TwoPhaseCoordinator,
+    recover_transactions,
+)
+
+__all__ = [
+    "AdmissionError",
+    "Autobalancer",
+    "ClusterConfig",
+    "ClusterError",
+    "Device",
+    "HotShardDetector",
+    "IntentJournal",
+    "KamlCluster",
+    "LogicalNamespace",
+    "PlacementMap",
+    "QosManager",
+    "ShardScheduler",
+    "TenantPolicy",
+    "TwoPhaseCommitError",
+    "TwoPhaseCoordinator",
+    "install_cluster_probes",
+    "key_shard_slot",
+    "recover_transactions",
+]

@@ -1,0 +1,140 @@
+"""Key and namespace placement: which shard serves which request.
+
+The cluster exposes *logical* namespaces named by strings; each one maps
+to a per-device local namespace id on every shard it lives on.  Two
+placement modes cover the two deployment shapes from the multi-device
+KV-SSD literature:
+
+* ``"hashed"`` — the keyspace is spread across every placed shard by a
+  multiplicative Fibonacci hash of the key.  This is the web-scale
+  "millions of users" shape: uniform load, no per-namespace hotspot,
+  but the namespace cannot migrate (its keys live everywhere).
+* ``"homed"`` — the whole namespace lives on one shard.  Tenant-scoped
+  data keeps locality (scans stay single-device) and the namespace is
+  the unit of rebalancing: :meth:`KamlCluster.rebalance` moves a homed
+  namespace between devices.
+
+Placement is pure data — no simulation time passes here — so routing a
+request costs zero events and the single-device determinism digests are
+untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.cluster.errors import ClusterError
+
+#: Knuth's multiplicative constant (2^32 / phi).  The device-side bucket
+#: index hashes keys too; using a different mixer here keeps cluster
+#: routing and device bucket choice uncorrelated, so a keyset that is
+#: adversarial for one stays uniform for the other.
+_FIB_MIX = 2654435761
+
+
+def key_shard_slot(key: int, slots: int) -> int:
+    """Deterministic slot in ``[0, slots)`` for a hashed namespace key."""
+    if slots <= 0:
+        raise ClusterError("hashed placement needs at least one slot")
+    return ((key * _FIB_MIX) & 0xFFFFFFFF) % slots
+
+
+@dataclass
+class LogicalNamespace:
+    """One cluster-visible namespace and where its keys live.
+
+    ``placement`` lists shard ids in slot order; for ``"hashed"`` mode a
+    key maps to ``placement[key_shard_slot(key, len(placement))]``, for
+    ``"homed"`` mode ``placement`` has exactly one entry.  ``device_ns``
+    maps shard id → the local namespace id created on that device.
+    """
+
+    name: str
+    tenant: str
+    mode: str  # "hashed" | "homed"
+    placement: List[int]
+    device_ns: Dict[int, int] = field(default_factory=dict)
+    #: Device-side attributes replicated on every placed shard (and on
+    #: the target shard when a homed namespace migrates).
+    attributes: Any = None
+    #: True while :meth:`KamlCluster.rebalance` moves this namespace —
+    #: new requests park on the cluster's migration gate until the flip.
+    migrating: bool = False
+    #: Cluster-level requests currently between admission and completion;
+    #: the migration quiesce step waits for this to reach zero.
+    inflight: int = 0
+
+    def shard_for(self, key: int) -> int:
+        if self.mode == "homed":
+            return self.placement[0]
+        return self.placement[key_shard_slot(key, len(self.placement))]
+
+    def local_ns(self, shard_id: int) -> int:
+        try:
+            return self.device_ns[shard_id]
+        except KeyError:
+            raise ClusterError(
+                f"namespace {self.name!r} has no replica on shard {shard_id}"
+            ) from None
+
+    def route(self, key: int) -> Tuple[int, int]:
+        """``(shard_id, local_namespace_id)`` serving ``key``."""
+        shard = self.shard_for(key)
+        return shard, self.local_ns(shard)
+
+
+class PlacementMap:
+    """Name → :class:`LogicalNamespace` registry for one cluster."""
+
+    def __init__(self, num_shards: int):
+        if num_shards < 1:
+            raise ClusterError("a cluster needs at least one shard")
+        self.num_shards = num_shards
+        self._namespaces: Dict[str, LogicalNamespace] = {}
+        #: Round-robin cursor so successive homed namespaces spread out.
+        self._next_home = 0
+
+    def add(self, namespace: LogicalNamespace) -> LogicalNamespace:
+        if namespace.name in self._namespaces:
+            raise ClusterError(f"namespace {namespace.name!r} already exists")
+        if namespace.mode not in ("hashed", "homed"):
+            raise ClusterError(f"unknown placement mode {namespace.mode!r}")
+        if namespace.mode == "homed" and len(namespace.placement) != 1:
+            raise ClusterError("homed namespaces live on exactly one shard")
+        if not namespace.placement:
+            raise ClusterError("placement cannot be empty")
+        for shard in namespace.placement:
+            if not 0 <= shard < self.num_shards:
+                raise ClusterError(
+                    f"shard {shard} out of range [0, {self.num_shards})"
+                )
+        self._namespaces[namespace.name] = namespace
+        return namespace
+
+    def get(self, name: str) -> LogicalNamespace:
+        try:
+            return self._namespaces[name]
+        except KeyError:
+            raise ClusterError(f"unknown namespace {name!r}") from None
+
+    def remove(self, name: str) -> None:
+        self.get(name)
+        del self._namespaces[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._namespaces)
+
+    def pick_home(self) -> int:
+        """Round-robin shard for the next homed namespace."""
+        shard = self._next_home % self.num_shards
+        self._next_home += 1
+        return shard
+
+    def homed_on(self, shard_id: int) -> List[LogicalNamespace]:
+        """Homed namespaces currently living on ``shard_id`` (name order)."""
+        return [
+            ns
+            for _name, ns in sorted(self._namespaces.items())
+            if ns.mode == "homed" and ns.placement[0] == shard_id
+        ]

@@ -44,6 +44,22 @@ CRASH_POINTS = (
     "log.mid_flush",
 )
 
+#: Crash points announced by the host-side cluster coordinator
+#: (:mod:`repro.cluster`), not by a device.  A cut here powers down the
+#: coordinator *and* every device at once; recovery replays the
+#: coordinator's intent journal over the per-device NVRAM prepares.
+CLUSTER_CRASH_POINTS = (
+    # Every participant holds a durable prepare, but the commit decision
+    # was never journaled — recovery must abort on all shards.
+    "cluster.2pc.after_prepare",
+    # The decision is journaled and a strict subset of participants has
+    # committed — recovery must finish the commit on the rest.
+    "cluster.2pc.mid_commit",
+)
+
+#: Every announceable crash point: device-side plus coordinator-side.
+ALL_CRASH_POINTS = CRASH_POINTS + CLUSTER_CRASH_POINTS
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -61,9 +77,9 @@ class FaultPlan:
     at_time: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.point is not None and self.point not in CRASH_POINTS:
+        if self.point is not None and self.point not in ALL_CRASH_POINTS:
             raise ValueError(
-                f"unknown crash point {self.point!r}; choose from {CRASH_POINTS}"
+                f"unknown crash point {self.point!r}; choose from {ALL_CRASH_POINTS}"
             )
         if self.hit < 1:
             raise ValueError(f"hit is 1-based; got {self.hit}")

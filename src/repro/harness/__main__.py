@@ -50,6 +50,10 @@ def main(argv=None) -> int:
         from repro.harness import crash_cli
 
         return crash_cli.main(argv[1:])
+    if argv and argv[0] == "cluster":
+        from repro.harness import cluster_cli
+
+        return cluster_cli.main(argv[1:])
     if argv and argv[0] == "perf":
         from repro.harness import perf_cli
 
@@ -96,6 +100,7 @@ def main(argv=None) -> int:
             print(f"{name:10} {description}")
         print(f"{'obs':10} observability driver (tracing/SLO dashboard)")
         print(f"{'crash':10} crash-consistency matrix (see 'crash --help')")
+        print(f"{'cluster':10} sharded serving-tier matrix (see 'cluster --help')")
         print(f"{'perf':10} simulator throughput benchmark (see 'perf --help')")
         print(f"{'prof':10} latency-attribution profiler (see 'prof --help')")
         print(f"{'record':10} capture an op journal (see 'record --help')")

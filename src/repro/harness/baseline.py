@@ -15,6 +15,12 @@ deterministic and gate event-bloat exactly; its ``events_per_sec`` /
 when current and baseline come from the same runner class — which is
 how the CI perf job uses them.
 
+A ``cluster`` section carries the serving-tier numbers from
+``python -m repro.harness cluster --json-out``: aggregate throughput
+across the matrix cells and the worst rebalance p99.  Both are
+simulated-time metrics, so they are deterministic and gate at the
+strict tolerance like ``sim_events``.
+
 Update the baseline deliberately (after a change that is *supposed* to
 shift performance) with ``make rebaseline`` — never by editing numbers
 by hand.
@@ -63,6 +69,30 @@ def build_perf_section(perf_artifact: Dict[str, Any]) -> Dict[str, Any]:
     return {"tolerance": DEFAULT_TOLERANCE, "workloads": workloads}
 
 
+#: Cluster serving-tier metrics carried in the baseline:
+#: ``(field, lower_is_regression)``.  Aggregate throughput dropping is a
+#: regression; rebalance p99 rising is one.  Both are simulated-time
+#: numbers (ops per simulated second, microseconds of simulated
+#: migration latency), so they are deterministic and machine-independent.
+CLUSTER_FIELDS = (
+    ("ops_per_sec", True),
+    ("rebalance_p99_us", False),
+)
+
+
+def build_cluster_section(cluster_artifact: Dict[str, Any]) -> Dict[str, Any]:
+    """Distil a ``harness cluster --json-out`` report into baseline form."""
+    section: Dict[str, Any] = {
+        "tolerance": DEFAULT_TOLERANCE,
+        "shards": list(cluster_artifact.get("shards") or []),
+        "seeds": list(cluster_artifact.get("seeds") or []),
+    }
+    for field, _lower in CLUSTER_FIELDS:
+        if field in cluster_artifact:
+            section[field] = float(cluster_artifact[field])
+    return section
+
+
 def build_breakdown_section(prof_artifact: Dict[str, Any]) -> Dict[str, Any]:
     """Distil a ``harness prof --json-out`` report into baseline form.
 
@@ -85,6 +115,7 @@ def build_baseline(
     result: Dict[str, Any],
     perf_artifact: Optional[Dict[str, Any]] = None,
     prof_artifact: Optional[Dict[str, Any]] = None,
+    cluster_artifact: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Distil a fig5 result (or its JSON artifact) into baseline form."""
     metrics = result.get("metrics") or {}
@@ -103,6 +134,8 @@ def build_baseline(
         baseline["perf"] = build_perf_section(perf_artifact)
     if prof_artifact is not None:
         baseline["breakdown"] = build_breakdown_section(prof_artifact)
+    if cluster_artifact is not None:
+        baseline["cluster"] = build_cluster_section(cluster_artifact)
     return baseline
 
 
@@ -190,6 +223,22 @@ def compare(
                 lower_is_regression=lower_is_regression,
                 check_tol=field_tol,
             )
+    base_cluster = baseline.get("cluster") or {}
+    if any(field in base_cluster for field, _lower in CLUSTER_FIELDS):
+        cluster_tol = float(base_cluster.get("tolerance", tol)) \
+            if tolerance is None else tol
+        current_cluster = current.get("cluster") or {}
+        for field, lower_is_regression in CLUSTER_FIELDS:
+            if field not in base_cluster:
+                continue
+            check(
+                "cluster",
+                {field: base_cluster[field]},
+                {field: current_cluster[field]}
+                if field in current_cluster else {},
+                lower_is_regression=lower_is_regression,
+                check_tol=cluster_tol,
+            )
     base_breakdown = baseline.get("breakdown") or {}
     if base_breakdown.get("fractions"):
         pp_tol = float(base_breakdown.get("tolerance_pp", BREAKDOWN_TOLERANCE_PP))
@@ -236,7 +285,8 @@ def markdown_summary(
         baseline.get("tolerance", DEFAULT_TOLERANCE)
     )
     lines = [
-        f"### Perf gate: fig5 smoke bench + sim throughput (tolerance {tol:.0%})",
+        f"### Perf gate: fig5 smoke bench + sim throughput + cluster tier "
+        f"(tolerance {tol:.0%})",
         "",
         "| metric | current | baseline | delta | status |",
         "|---|---:|---:|---:|---|",
@@ -288,6 +338,22 @@ def markdown_summary(
                 },
                 lower_is_regression,
                 field_tol,
+            )
+    base_cluster = baseline.get("cluster") or {}
+    if any(field in base_cluster for field, _lower in CLUSTER_FIELDS):
+        cluster_tol = float(base_cluster.get("tolerance", tol)) \
+            if tolerance is None else tol
+        current_cluster = current.get("cluster") or {}
+        for field, lower_is_regression in CLUSTER_FIELDS:
+            if field not in base_cluster:
+                continue
+            emit(
+                "cluster",
+                {field: base_cluster[field]},
+                {field: current_cluster[field]}
+                if field in current_cluster else {},
+                lower_is_regression,
+                cluster_tol,
             )
     base_breakdown = baseline.get("breakdown") or {}
     if base_breakdown.get("fractions"):
@@ -345,6 +411,11 @@ def main(argv: Optional[List[str]] = None) -> int:
              "--json-out'; skipped if the file does not exist",
     )
     parser.add_argument(
+        "--cluster-artifact", default="benchmarks/artifacts/cluster.json",
+        help="report JSON written by 'python -m repro.harness cluster "
+             "--json-out'; skipped if the file does not exist",
+    )
+    parser.add_argument(
         "--baseline", default="benchmarks/baseline.json",
         help="checked-in baseline to gate against",
     )
@@ -376,8 +447,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     prof_artifact = None
     if args.prof_artifact and os.path.exists(args.prof_artifact):
         prof_artifact = _load_json(args.prof_artifact)
+    cluster_artifact = None
+    if args.cluster_artifact and os.path.exists(args.cluster_artifact):
+        cluster_artifact = _load_json(args.cluster_artifact)
     current = build_baseline(
-        _load_json(args.artifact), perf_artifact, prof_artifact
+        _load_json(args.artifact), perf_artifact, prof_artifact,
+        cluster_artifact,
     )
     if args.rebaseline:
         if perf_artifact is None:
@@ -391,6 +466,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(
                 f"note: no kamlprof artifact at {args.prof_artifact}; "
                 "the rewritten baseline has no 'breakdown' section "
+                "(run 'make rebaseline' to regenerate everything)",
+                file=sys.stderr,
+            )
+        if cluster_artifact is None:
+            print(
+                f"note: no cluster artifact at {args.cluster_artifact}; "
+                "the rewritten baseline has no 'cluster' section "
                 "(run 'make rebaseline' to regenerate everything)",
                 file=sys.stderr,
             )

@@ -10,7 +10,14 @@ not start from a bare assertion message::
     python -m repro.harness crash --matrix
     python -m repro.harness crash --matrix --seeds 1,2,3 --report out.json
     python -m repro.harness crash --point gc.mid_relocation --seeds 7
+    python -m repro.harness crash --point cluster.2pc.mid_commit --seeds 2
     python -m repro.harness crash --list-points
+
+Device crash points cut a single SSD mid-operation; the
+``cluster.2pc.*`` points cut the whole rack at a coordinator decision
+boundary and check cross-shard all-or-nothing through
+:mod:`repro.fault.cluster_harness` (``--cluster-shards`` sizes that
+cluster).  ``--matrix`` sweeps both layers.
 """
 
 from __future__ import annotations
@@ -21,7 +28,13 @@ import os
 import sys
 from typing import Any, Dict, List, Optional
 
-from repro.fault import CRASH_POINTS, run_matrix
+from repro.fault import (
+    ALL_CRASH_POINTS,
+    CLUSTER_CRASH_POINTS,
+    CRASH_POINTS,
+    run_cluster_matrix,
+    run_matrix,
+)
 
 
 def _parse_seeds(text: str) -> List[int]:
@@ -38,10 +51,12 @@ def _cell_row(cell: Dict[str, Any]) -> str:
     status = "ok" if cell["ok"] else "FAIL"
     hit = cell.get("hit")
     hit_text = "-" if hit is None else str(hit)
+    shards = cell.get("shards")
+    layer = "device" if shards is None else f"x{shards}"
     detail = "" if cell["ok"] else f'  {"; ".join(cell["failures"][:2])}'
     return (
-        f"  [{status:>4}] seed {cell['seed']:>3}  "
-        f"{cell['point'] or '(counting)':24} hit {hit_text:>4}{detail}"
+        f"  [{status:>4}] {layer:>6} seed {cell['seed']:>3}  "
+        f"{cell['point'] or '(counting)':28} hit {hit_text:>4}{detail}"
     )
 
 
@@ -88,14 +103,16 @@ def _step_summary(report: Dict[str, Any]) -> str:
     lines = [
         "### Crash-consistency matrix",
         "",
-        "| seed | crash point | hit | result |",
-        "|---:|---|---:|---|",
+        "| layer | seed | crash point | hit | result |",
+        "|---|---:|---|---:|---|",
     ]
     for cell in report["cells"]:
         hit = cell.get("hit")
+        shards = cell.get("shards")
+        layer = "device" if shards is None else f"cluster x{shards}"
         result = "ok" if cell["ok"] else "FAIL: " + _md_cell(cell["failures"][0])
         lines.append(
-            f"| {cell['seed']} | {cell['point'] or '(counting)'} "
+            f"| {layer} | {cell['seed']} | {cell['point'] or '(counting)'} "
             f"| {'-' if hit is None else hit} "
             f"| {result} |"
         )
@@ -113,8 +130,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="sweep every crash point (or --point) across --seeds",
     )
     parser.add_argument(
-        "--point", action="append", choices=list(CRASH_POINTS), default=None,
-        help="restrict to one crash point (repeatable)",
+        "--point", action="append", choices=list(ALL_CRASH_POINTS), default=None,
+        help="restrict to one crash point (repeatable; cluster.* points "
+             "run the cluster harness)",
+    )
+    parser.add_argument(
+        "--cluster-shards", type=int, default=2,
+        help="shard count for cluster.2pc.* cells (default: 2)",
     )
     parser.add_argument(
         "--seeds", default="1,2,3",
@@ -146,21 +168,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_points:
-        for point in CRASH_POINTS:
+        for point in ALL_CRASH_POINTS:
             print(point)
         return 0
     if not args.matrix and not args.point:
         parser.error("pick a mode: --matrix, --point <name>, or --list-points")
 
     seeds = _parse_seeds(args.seeds)
-    points = args.point if args.point else None
-    report = run_matrix(
-        seeds,
-        points=points,
-        ops_per_writer=args.ops,
-        program_fail_rate=args.program_fail_rate,
-        erase_fail_rate=args.erase_fail_rate,
-    )
+    if args.point:
+        device_points = [p for p in args.point if p in CRASH_POINTS]
+        cluster_points = [p for p in args.point if p in CLUSTER_CRASH_POINTS]
+    else:
+        # A bare --matrix sweeps both layers.
+        device_points, cluster_points = list(CRASH_POINTS), list(CLUSTER_CRASH_POINTS)
+
+    report: Dict[str, Any] = {
+        "ok": True, "seeds": seeds, "points": [], "cells": [],
+    }
+    if device_points:
+        device_report = run_matrix(
+            seeds,
+            points=device_points,
+            ops_per_writer=args.ops,
+            program_fail_rate=args.program_fail_rate,
+            erase_fail_rate=args.erase_fail_rate,
+        )
+        report["ok"] = report["ok"] and device_report["ok"]
+        report["points"].extend(device_report["points"])
+        report["cells"].extend(device_report["cells"])
+    if cluster_points:
+        cluster_report = run_cluster_matrix(
+            seeds, points=cluster_points, num_shards=args.cluster_shards
+        )
+        report["ok"] = report["ok"] and cluster_report["ok"]
+        report["points"].extend(cluster_report["points"])
+        report["cells"].extend(cluster_report["cells"])
 
     print(f"crash matrix: seeds {seeds}, points {report['points']}")
     for cell in report["cells"]:

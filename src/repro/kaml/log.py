@@ -248,7 +248,12 @@ class KamlLog:
             point.timer = None
         assembly, waiters = point.assembly, point.waiters
         self._points[for_gc] = _WritePoint(self._new_assembly(), generation=point.generation + 1)
-        self.env.process(self._flush_process(assembly, waiters, for_gc))
+        # The epoch is captured *here*, not at the flush body's first
+        # step: a power cut can land between ``env.process()`` and the
+        # first resume, and a flush that captured the post-cut epoch
+        # would happily program a page of pre-crash records into the
+        # recovered log.
+        self.env.process(self._flush_process(assembly, waiters, for_gc, self.epoch))
 
     def _start_flush_timer(self, for_gc: bool, point: _WritePoint) -> None:
         """Program a partially filled page after a timeout (Section IV-B).
@@ -283,8 +288,14 @@ class KamlLog:
         point.timer = bootstrap
         self.env._schedule(bootstrap, 0.0)
 
-    def _flush_process(self, assembly: PageAssembly, waiters, for_gc: bool) -> Any:
-        epoch = self.epoch
+    def _flush_process(
+        self, assembly: PageAssembly, waiters, for_gc: bool,
+        epoch: Optional[int] = None,
+    ) -> Any:
+        if epoch is None:
+            epoch = self.epoch
+        if self.epoch != epoch:
+            return  # launched an instant before a cut; the page is gone
         yield self._program_lock.acquire(owner=("flush", for_gc))
         held = True
         try:
@@ -464,6 +475,12 @@ class KamlLog:
                     break
                 block_index = victim.token
                 self.full.remove(block_index)
+                # From here until block_erased fires, any mapping install
+                # into this block is installing into a block whose erase
+                # is already decided; the hook lets late phase-3 installs
+                # detect that and re-append instead (the survivor scan
+                # below has already judged them garbage).
+                self.hooks.block_doomed(self.block_key(block_index))
                 clean_span = ctx.begin(
                     "gc.clean_block",
                     parent=gc_span,

@@ -29,7 +29,7 @@ throughput implies their firmware avoids too.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+from typing import Any, Dict, List, NamedTuple, Optional, Set, Tuple
 
 from repro import sanitize
 from repro.config import ReproConfig
@@ -72,20 +72,34 @@ _DELETED = object()
 class StagedBatch:
     """Durable NVRAM payload of one logically-committed command.
 
-    ``kind`` is ``"put"`` or ``"delete"``.  ``versions`` holds the commit
-    versions phase 1 assigned, stamped into the payload after the pin
-    (mutating this object models writing into the already-reserved NVRAM
-    region); it stays None when a crash caught the batch between the pin
-    and version assignment — such a batch was never acknowledged and
-    replays all-or-nothing with fresh versions.
+    ``kind`` is ``"put"``, ``"delete"``, or ``"prepare"``.  ``versions``
+    holds the commit versions phase 1 assigned, stamped into the payload
+    after the pin (mutating this object models writing into the
+    already-reserved NVRAM region); it stays None when a crash caught the
+    batch between the pin and version assignment — such a batch was never
+    acknowledged and replays all-or-nothing with fresh versions.
+
+    A ``"prepare"`` batch is the participant half of a host-side
+    two-phase commit (``repro.cluster``): durable but *undecided*.  It is
+    never staged for reads, and :meth:`KamlSsd.recover` keeps it pinned
+    instead of replaying it — only the coordinator's intent journal can
+    turn it into a commit or an abort.  ``txn_id`` names the distributed
+    transaction it belongs to.
     """
 
-    __slots__ = ("kind", "items", "versions")
+    __slots__ = ("kind", "items", "versions", "txn_id")
 
-    def __init__(self, kind: str, items: List[PutItem], versions: Optional[List[int]] = None):
+    def __init__(
+        self,
+        kind: str,
+        items: List[PutItem],
+        versions: Optional[List[int]] = None,
+        txn_id: Optional[int] = None,
+    ):
         self.kind = kind
         self.items = list(items)
         self.versions = list(versions) if versions is not None else None
+        self.txn_id = txn_id
 
 
 class KamlStats:
@@ -181,6 +195,11 @@ class KamlSsd:
         self._installed_versions: Dict[Tuple[int, int], int] = {}
         self._version_counter = 0
         self._valid_bytes: Dict[Tuple[int, int, int], int] = {}
+        #: Blocks a log's GC has claimed as erase victims but not yet
+        #: erased.  A late phase-3 install whose record sits in one of
+        #: these was already judged garbage by the survivor scan; it must
+        #: re-append rather than publish a mapping the erase will sever.
+        self._doomed_blocks: Set[Tuple[int, int, int]] = set()
         self._pins: Dict[Tuple[int, int, int], int] = {}
         self._pin_gate = Gate(env, name="kaml.pins")
         self.snapshots: Dict[int, Snapshot] = {}
@@ -593,13 +612,7 @@ class KamlSsd:
             )
         return results
 
-    def put(self, items: List[PutItem], ctx: Optional[TraceContext] = None) -> Any:
-        """``Put``: atomic multi-record update/insert.
-
-        Returns once *logically committed* (phase 1); the returned
-        :class:`~repro.sim.Process` resolves when the batch is fully on
-        flash with mapping tables updated (phases 2–3).
-        """
+    def _validate_items(self, items: List[PutItem]) -> None:
         if not items:
             raise KamlError("Put requires at least one record")
         for item in items:
@@ -611,6 +624,15 @@ class KamlSsd:
                 raise RecordTooLargeError(
                     f"value of {item.size} B does not fit in one flash page"
                 )
+
+    def put(self, items: List[PutItem], ctx: Optional[TraceContext] = None) -> Any:
+        """``Put``: atomic multi-record update/insert.
+
+        Returns once *logically committed* (phase 1); the returned
+        :class:`~repro.sim.Process` resolves when the batch is fully on
+        flash with mapping tables updated (phases 2–3).
+        """
+        self._validate_items(items)
         self._puts_counter.inc()
         self._put_records_counter.inc(len(items))
         put_bytes_counters = self._put_bytes_counters
@@ -746,6 +768,87 @@ class KamlSsd:
             )
         )
 
+    def _block_key_of(self, location: RecordLocation) -> Tuple[int, int, int]:
+        page = location.page
+        return (page.channel, page.chip, page.block)
+
+    def _erase_mark(self, location: Optional[RecordLocation]) -> int:
+        """Erase generation of the block holding ``location``.
+
+        A block cannot complete an erase at the same sim instant one of
+        its pages finished programming (cleaning requires reads and
+        relocation appends, which take time), so a mark captured in the
+        same event cascade as the append's completion is a stable
+        snapshot.
+        """
+        if location is None:
+            return 0
+        page = location.page
+        return self.array.chip(page.channel, page.chip).block(page.block).erase_count
+
+    def _refresh_location(
+        self, item: PutItem, version: int, location: RecordLocation,
+        mark: int, epoch: int,
+    ) -> Any:
+        """Revalidate a phase-2 location just before its mapping install.
+
+        GC deliberately treats appended-but-not-yet-installed records as
+        garbage (no mapping points at them), so in the window between
+        the flash append and the install's firmware work the containing
+        block can be cleaned and erased.  Installing the stale location
+        would publish a pointer into an erased — or worse, erased and
+        reprogrammed — page.  Two signals cover the whole window: a
+        moved erase generation means the erase already happened, and a
+        doomed block means GC's survivor scan has passed (judging this
+        record garbage) with the erase merely in flight.  Either way,
+        re-append the record under its original commit version and try
+        again; returns the live location, or None if a newer write
+        superseded this install (or the device crashed) while retrying.
+        """
+        while (
+            self._erase_mark(location) != mark
+            or self._block_key_of(location) in self._doomed_blocks
+        ):
+            entry_key = (item.namespace_id, item.key)
+            if version < self._installed_versions.get(entry_key, 0):
+                return None  # a newer write won; this record is garbage
+            namespace = self.namespaces.get(item.namespace_id)
+            if namespace is None:
+                return None
+            self.metrics.counter("kaml.ssd.install_reappends").inc()
+            log = self.logs[namespace.next_log_id()]
+            record = Record(
+                item.namespace_id, item.key, item.value, item.size, seq=version
+            )
+            location = yield from log.append(record)
+            if self.epoch != epoch:
+                return None
+            mark = self._erase_mark(location)
+        return location
+
+    def _append_record(
+        self, log, record, epoch: int, ctx=NULL_CONTEXT, parent=None
+    ) -> Any:
+        """Append one record, re-checking the epoch at first resume.
+
+        The append runs as a child process, and a power cut can land in
+        the gap between ``env.process()`` and the body's first step —
+        the parent's own epoch fence passed *before* the cut, so without
+        this check the body would stage a pre-crash record into the
+        recovered epoch's write point.  That ghost page is worse than a
+        leak: its flush can fire mid-recovery, before the flash rescan
+        has rebuilt the block lists, and wedge replay with a spurious
+        log-full error.
+        """
+        if self.epoch != epoch:
+            return None  # ghost append from before a cut
+        location = yield from log.append(record, ctx=ctx, parent=parent)
+        # The mark is captured in the same event cascade as *this*
+        # append's completion — capturing it later (say when the whole
+        # batch's all_of fires) would race a GC erase of this block and
+        # make the stale location look live.
+        return location, self._erase_mark(location)
+
     def _complete_put(
         self, items, versions, handle, epoch, pin_start,
         ctx=NULL_CONTEXT, put_span=None, owns_ctx=False,
@@ -779,9 +882,11 @@ class KamlSsd:
                     item.namespace_id, item.key, item.value, item.size, seq=version
                 )
                 appends.append(
-                    self.env.process(log.append(record, ctx=ctx, parent=phase2_span))
+                    self.env.process(
+                        self._append_record(log, record, epoch, ctx, phase2_span)
+                    )
                 )
-            locations = yield self.env.all_of(appends)
+            landed = yield self.env.all_of(appends)
             install_start = self.env.now
             yield from self.firmware.execute(
                 len(items) * (self.costs.per_record_us + self.costs.hash_update_us)
@@ -789,7 +894,15 @@ class KamlSsd:
             if self.epoch == epoch:
                 self._crash_point("put.before_install")
             if self.epoch == epoch:
-                for item, version, location in zip(items, versions, locations):
+                for item, version, landing in zip(items, versions, landed):
+                    if landing is None:
+                        continue  # ghost append: a cut landed mid-phase-2
+                    location, mark = landing
+                    location = yield from self._refresh_location(
+                        item, version, location, mark, epoch
+                    )
+                    if location is None or self.epoch != epoch:
+                        continue
                     self._install_versioned(
                         item.namespace_id, item.key, version, location
                     )
@@ -873,6 +986,12 @@ class KamlSsd:
         retries exhausted — the pin stays live and NVRAM replay re-drives
         the delete after a crash instead of resurrecting the key.
         """
+        if self.epoch != epoch:
+            # Spawned an instant before a power cut and first run after
+            # it: appending now would plant a pre-crash tombstone in the
+            # recovered epoch's write point.  The pin survives; replay
+            # owns the acked delete.
+            return
         namespace = self.namespaces.get(namespace_id)
         if namespace is None:
             # Namespace dropped: the key can never be read again, so the
@@ -892,6 +1011,125 @@ class KamlSsd:
         if self.epoch == epoch:
             self._install_tombstone(namespace_id, key, version, location)
             self.nvram.release(handle)
+
+    # ------------------------------------------------------------------
+    # Host-side 2PC participant surface (the repro.cluster serving tier)
+    # ------------------------------------------------------------------
+
+    def prepare_batch(self, items: List[PutItem], txn_id: int) -> Any:
+        """Participant *prepare*: pin a batch durably without committing.
+
+        The items are transferred and staged in NVRAM exactly like a
+        ``Put``'s phase 1, but no versions are assigned and nothing
+        becomes readable — the batch is in doubt until the coordinator
+        drives :meth:`commit_prepared` or :meth:`abort_prepared`.  A
+        power loss keeps the pin (:meth:`recover` preserves ``"prepare"``
+        batches instead of replaying them), so the coordinator's intent
+        journal alone decides the outcome.  Returns the NVRAM handle.
+        """
+        self._validate_items(items)
+        self.metrics.counter("kaml.ssd.prepares").inc()
+        total_bytes = sum(item.size for item in items)
+        yield from self.link.command_overhead()
+        yield from self.link.host_to_device(total_bytes)
+        batch = StagedBatch("prepare", items, txn_id=txn_id)
+        handle = yield self.nvram.reserve(total_bytes, payload=batch)
+        self._nvram_used_gauge.set(self.nvram.used_bytes)
+        yield from self.firmware.execute(
+            self.costs.dispatch_us + total_bytes / self.costs.nvram_copy_bytes_per_us
+        )
+        return handle
+
+    def commit_prepared(self, handle: int) -> Any:
+        """Participant *commit*: turn a prepared batch into an acked Put.
+
+        Assigns commit versions, stamps them into the pinned payload
+        (from here on the batch replays exactly like an acknowledged
+        ``Put``), makes the values readable from the staging area, and
+        completes phases 2–3 in the background.  Idempotent against the
+        crash-replay path: once committed the batch's kind is ``"put"``,
+        so a later device recovery applies it through the ordinary
+        versioned replay.  Returns the background completion process.
+        """
+        batch = self.nvram.payload(handle)
+        if not isinstance(batch, StagedBatch) or batch.kind != "prepare":
+            raise KamlError(f"NVRAM handle {handle} does not hold a prepared batch")
+        epoch = self.epoch
+        pin_start = self.env.now
+        self.metrics.counter("kaml.ssd.prepare_commits").inc()
+        items = batch.items
+        probe_costs = []
+        for item in items:
+            namespace = self._namespace(item.namespace_id)
+            namespace.require_resident()
+            _existing, scanned = namespace.index.lookup(item.key)
+            probe_costs.append(scanned * self.costs.hash_probe_us)
+        yield from self.firmware.execute(self.costs.dispatch_us + sum(probe_costs))
+        if self.epoch != epoch:
+            return None  # crashed mid-commit; the pin (still "prepare") survives
+        versions = []
+        for item in items:
+            self._version_counter += 1
+            versions.append(self._version_counter)
+            self._staged[(item.namespace_id, item.key)] = (
+                self._version_counter, item.value, item.size,
+            )
+        # The decisive NVRAM write: kind + versions flip atomically, so a
+        # crash from here on replays the batch as an acknowledged Put.
+        batch.versions = list(versions)
+        batch.kind = "put"
+        return self.env.process(
+            self._complete_put(items, versions, handle, epoch, pin_start)
+        )
+
+    def abort_prepared(self, handle: int) -> Any:
+        """Participant *abort*: drop a prepared batch without a trace."""
+        batch = self.nvram.payload(handle)
+        if not isinstance(batch, StagedBatch) or batch.kind != "prepare":
+            raise KamlError(f"NVRAM handle {handle} does not hold a prepared batch")
+        self.metrics.counter("kaml.ssd.prepare_aborts").inc()
+        self.nvram.release(handle)
+        self._nvram_used_gauge.set(self.nvram.used_bytes)
+        yield from self.firmware.execute(self.costs.dispatch_us)
+
+    def prepared_batches(self) -> Dict[int, int]:
+        """``{txn_id: nvram_handle}`` of every in-doubt prepared batch.
+
+        The coordinator consults this after :meth:`recover` to resolve
+        distributed transactions from its intent journal.
+        """
+        prepared: Dict[int, int] = {}
+        for handle, payload in self.nvram.live_payloads():
+            if (
+                isinstance(payload, StagedBatch)
+                and payload.kind == "prepare"
+                and payload.txn_id is not None
+            ):
+                prepared[payload.txn_id] = handle
+        return prepared
+
+    def list_keys(self, namespace_id: int) -> Any:
+        """Management command: every readable key of a namespace, sorted.
+
+        Used by the cluster serving tier to migrate a namespace between
+        devices; a firmware-side index walk, not a flash scan, so it
+        works for hash indexes that cannot serve ``Scan``.
+        """
+        namespace = self._namespace(namespace_id)
+        namespace.require_resident()
+        yield from self.link.command_overhead()
+        keys = {key for key, _location in namespace.index.items()}
+        for (staged_ns, staged_key), (_v, value, _size) in self._staged.items():
+            if staged_ns != namespace_id:
+                continue
+            if value is _DELETED:
+                keys.discard(staged_key)
+            else:
+                keys.add(staged_key)
+        yield from self.firmware.execute(
+            self.costs.dispatch_us + len(keys) * self.costs.hash_probe_us
+        )
+        return sorted(keys)
 
     # ------------------------------------------------------------------
     # Mapping installs and valid-byte accounting
@@ -1022,8 +1260,13 @@ class KamlSsd:
             sanitize.check_relocation(self, record, old, new)
         return moved
 
+    def block_doomed(self, block_key: Tuple[int, int, int]) -> None:
+        """GC claimed this block as an erase victim (pre-erase)."""
+        self._doomed_blocks.add(block_key)
+
     def block_erased(self, block_key: Tuple[int, int, int]) -> None:
         self._valid_bytes.pop(block_key, None)
+        self._doomed_blocks.discard(block_key)
 
     def _pin(self, block_key: Tuple[int, int, int]) -> None:
         self._pins[block_key] = self._pins.get(block_key, 0) + 1
@@ -1097,6 +1340,7 @@ class KamlSsd:
         self.nvram.power_loss()  # queued (ungranted) reservations are volatile
         self._staged.clear()  # firmware-DRAM view; replay rebuilds installs
         self._pins.clear()
+        self._doomed_blocks.clear()  # the pending erases died with the firmware
         # Re-sync soft write pointers with what actually reached flash.
         for log in self.logs:
             for for_gc in (False, True):
@@ -1123,6 +1367,7 @@ class KamlSsd:
         self.nvram.power_loss()
         self._staged.clear()
         self._pins.clear()
+        self._doomed_blocks.clear()
         self._installed_versions.clear()
         self._valid_bytes.clear()
         self._tombstones.clear()
@@ -1162,6 +1407,13 @@ class KamlSsd:
                 batch = payload
             else:  # legacy plain-list payload
                 batch = StagedBatch("put", list(payload or []))
+            if batch.kind == "prepare":
+                # In-doubt 2PC participant batch: durable but undecided.
+                # Keep the pin; only the cluster coordinator's intent
+                # journal may commit or abort it (presumed abort there).
+                self.metrics.counter("kaml.ssd.preserved_prepares").inc()
+                ctx.event("recover.prepare_preserved", txn=batch.txn_id)
+                continue
             replayed = yield from self._replay_batch(batch)
             self.nvram.release(handle)
             self.metrics.counter("kaml.ssd.recovered_batches").inc()

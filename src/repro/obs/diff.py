@@ -41,6 +41,7 @@ COMPONENT_OWNERS: Dict[str, str] = {
     "nand_erase": "flash.chip",
     "gc_wait": "kaml.gc",
     "background": "kaml.put.background",
+    "cluster": "cluster.serving",
     "other": "unattributed",
 }
 

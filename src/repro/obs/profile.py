@@ -57,6 +57,7 @@ COMPONENTS: Dict[str, str] = {
     "nand_erase": "NAND block erase (t_BERS)",
     "gc_wait": "garbage-collection interference",
     "background": "Put phase 2/3 work outside the host-visible window",
+    "cluster": "serving-tier routing, queueing, 2PC, and rebalancing",
     "other": "residual / unattributed",
 }
 
@@ -109,6 +110,7 @@ SPAN_COMPONENTS: Dict[str, str] = {
     "kaml.recover": "firmware_cpu",
     "recover.scan": "firmware_cpu",
     "recover.batch_replayed": "firmware_cpu",
+    "recover.prepare_preserved": "firmware_cpu",
     "kaml.flash_fault": "other",
     "kaml.flash_program": "nand_program",
     # Device-level choke points (channel bus, chip engine, firmware).
@@ -121,6 +123,21 @@ SPAN_COMPONENTS: Dict[str, str] = {
     "firmware.wait": "firmware_cpu",
     # kamltrace replay driver (one root per replay run, not per op).
     "replay.run": "other",
+    # Cluster serving tier (repro.cluster): request roots, queue wait,
+    # routing/shedding instants, the 2PC phases, and host maintenance.
+    "cluster.get": "cluster",
+    "cluster.put": "cluster",
+    "cluster.delete": "cluster",
+    "cluster.scan": "cluster",
+    "cluster.route": "cluster",
+    "cluster.shed": "cluster",
+    "cluster.queue": "cluster",
+    "cluster.2pc": "cluster",
+    "cluster.2pc.prepare": "cluster",
+    "cluster.2pc.commit": "cluster",
+    "cluster.2pc.decision": "cluster",
+    "cluster.rebalance": "cluster",
+    "cluster.recover": "cluster",
 }
 
 #: The registered span-name vocabulary (KL-OBS001 checks against this).
@@ -138,6 +155,11 @@ REQUEST_ROOTS = frozenset({
     "kaml.put",
     "ftl.read",
     "ftl.write",
+    "cluster.get",
+    "cluster.put",
+    "cluster.delete",
+    "cluster.scan",
+    "cluster.2pc",
 })
 
 

@@ -17,7 +17,11 @@ window out of the flight recorder.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, NamedTuple, Optional
+from typing import Any, Dict, List, NamedTuple, Optional, Union
+
+#: Namespace label on a policy or breach: a device-local namespace id, a
+#: cluster-level tenant/namespace name, or None for "every namespace".
+NamespaceLabel = Optional[Union[int, str]]
 
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import FlightRecorder
@@ -31,9 +35,9 @@ class SloPolicy(NamedTuple):
 
     op: str
     threshold_us: float
-    namespace: Optional[int] = None
+    namespace: NamespaceLabel = None
 
-    def matches(self, op: str, namespace: Optional[int]) -> bool:
+    def matches(self, op: str, namespace: NamespaceLabel) -> bool:
         if op != self.op:
             return False
         return self.namespace is None or self.namespace == namespace
@@ -43,7 +47,7 @@ class SloBreach(NamedTuple):
     """One recorded violation (dump is resolved lazily from the recorder)."""
 
     op: str
-    namespace: Optional[int]
+    namespace: NamespaceLabel
     latency_us: float
     threshold_us: float
     start_us: float
@@ -84,7 +88,7 @@ class SloTracker:
     # -- configuration ---------------------------------------------------
 
     def set_slo(
-        self, op: str, threshold_us: float, namespace: Optional[int] = None
+        self, op: str, threshold_us: float, namespace: NamespaceLabel = None
     ) -> SloPolicy:
         """Install (or replace) the policy for ``(op, namespace)``."""
         policy = SloPolicy(op, threshold_us, namespace)
@@ -99,7 +103,7 @@ class SloTracker:
     def record(
         self,
         op: str,
-        namespace: Optional[int],
+        namespace: NamespaceLabel,
         start_us: float,
         end_us: float,
         trace_id: int = 0,

@@ -29,6 +29,13 @@ from repro.workloads.trace import (
     synthesize,
     trace_from_journal,
 )
+from repro.workloads.multitenant import (
+    DEFAULT_TENANTS,
+    MultiTenantWorkload,
+    TenantResult,
+    TenantSpec,
+    run_multitenant,
+)
 from repro.workloads.replay import (
     ReplayError,
     ReplayIssue,
@@ -59,6 +66,11 @@ __all__ = [
     "TpcC",
     "Ycsb",
     "YCSB_MIXES",
+    "DEFAULT_TENANTS",
+    "MultiTenantWorkload",
+    "TenantResult",
+    "TenantSpec",
+    "run_multitenant",
     "Trace",
     "TraceOp",
     "ReplayError",

@@ -7,6 +7,7 @@ import pytest
 from repro.harness.baseline import (
     DEFAULT_TOLERANCE,
     build_baseline,
+    build_cluster_section,
     build_perf_section,
     compare,
     main,
@@ -243,6 +244,113 @@ def test_cli_merges_perf_artifact_on_rebaseline(
     ]) == 1
 
 
+@pytest.fixture
+def cluster_artifact():
+    return {
+        "ok": True,
+        "shards": [4],
+        "seeds": [1, 2, 3],
+        "ops_per_sec": 5000.0,
+        "rebalance_p99_us": 800.0,
+        "cells": [],
+    }
+
+
+def test_build_cluster_section_pins_only_gated_fields(cluster_artifact):
+    section = build_cluster_section(cluster_artifact)
+    assert section["tolerance"] == DEFAULT_TOLERANCE
+    assert section["shards"] == [4]
+    assert section["seeds"] == [1, 2, 3]
+    assert section["ops_per_sec"] == 5000.0
+    assert section["rebalance_p99_us"] == 800.0
+    # The matrix cells are run detail, not baseline material.
+    assert "cells" not in section
+    assert "ok" not in section
+
+
+def test_cluster_throughput_drop_fails(fig5_result, cluster_artifact):
+    baseline = build_baseline(fig5_result, cluster_artifact=cluster_artifact)
+    current = build_baseline(fig5_result, cluster_artifact=cluster_artifact)
+    current["cluster"]["ops_per_sec"] = 4000.0  # -20%
+    failures, _report = compare(current, baseline)
+    assert any("cluster" in f and "ops_per_sec" in f for f in failures)
+
+
+def test_cluster_throughput_gain_is_not_a_regression(
+    fig5_result, cluster_artifact
+):
+    baseline = build_baseline(fig5_result, cluster_artifact=cluster_artifact)
+    current = build_baseline(fig5_result, cluster_artifact=cluster_artifact)
+    current["cluster"]["ops_per_sec"] = 9000.0
+    assert compare(current, baseline)[0] == []
+
+
+def test_cluster_rebalance_p99_rise_fails(fig5_result, cluster_artifact):
+    baseline = build_baseline(fig5_result, cluster_artifact=cluster_artifact)
+    current = build_baseline(fig5_result, cluster_artifact=cluster_artifact)
+    current["cluster"]["rebalance_p99_us"] = 1000.0  # +25%
+    failures, _report = compare(current, baseline)
+    assert any("rebalance_p99_us" in f for f in failures)
+
+
+def test_cluster_rebalance_p99_drop_is_not_a_regression(
+    fig5_result, cluster_artifact
+):
+    baseline = build_baseline(fig5_result, cluster_artifact=cluster_artifact)
+    current = build_baseline(fig5_result, cluster_artifact=cluster_artifact)
+    current["cluster"]["rebalance_p99_us"] = 400.0
+    assert compare(current, baseline)[0] == []
+
+
+def test_cluster_section_missing_from_current_run_fails(
+    fig5_result, cluster_artifact
+):
+    baseline = build_baseline(fig5_result, cluster_artifact=cluster_artifact)
+    current = build_baseline(fig5_result)  # no cluster artifact this run
+    failures, _report = compare(current, baseline)
+    assert any("cluster" in f and "missing" in f for f in failures)
+
+
+def test_markdown_summary_includes_cluster_rows(fig5_result, cluster_artifact):
+    baseline = build_baseline(fig5_result, cluster_artifact=cluster_artifact)
+    summary = markdown_summary(baseline, baseline)
+    assert "cluster: ops_per_sec" in summary
+    assert "cluster: rebalance_p99_us" in summary
+    assert "FAIL" not in summary
+
+
+def test_cli_merges_cluster_artifact_on_rebaseline(
+    fig5_result, cluster_artifact, tmp_path, capsys
+):
+    artifact = tmp_path / "artifact.json"
+    cluster_path = tmp_path / "cluster.json"
+    baseline_path = tmp_path / "baseline.json"
+    artifact.write_text(json.dumps(fig5_result))
+    cluster_path.write_text(json.dumps(cluster_artifact))
+
+    assert main([
+        "--artifact", str(artifact), "--baseline", str(baseline_path),
+        "--cluster-artifact", str(cluster_path), "--rebaseline",
+    ]) == 0
+    written = json.loads(baseline_path.read_text())
+    assert written["cluster"]["ops_per_sec"] == 5000.0
+
+    # Gate passes against itself, including the cluster section.
+    assert main([
+        "--artifact", str(artifact), "--baseline", str(baseline_path),
+        "--cluster-artifact", str(cluster_path),
+    ]) == 0
+    assert "perf gate passed" in capsys.readouterr().out
+
+    # A slower serving tier trips the gate.
+    slow = dict(cluster_artifact, ops_per_sec=3000.0)
+    cluster_path.write_text(json.dumps(slow))
+    assert main([
+        "--artifact", str(artifact), "--baseline", str(baseline_path),
+        "--cluster-artifact", str(cluster_path),
+    ]) == 1
+
+
 def test_checked_in_baseline_is_valid():
     """benchmarks/baseline.json must stay loadable and self-consistent."""
     import pathlib
@@ -258,5 +366,8 @@ def test_checked_in_baseline_is_valid():
     for row in perf["workloads"].values():
         assert row["sim_events"] > 0
         assert row["events_per_sec"] > 0
+    cluster = baseline.get("cluster", {})
+    assert cluster.get("ops_per_sec", 0) > 0, "baseline pins no cluster tier"
+    assert cluster.get("rebalance_p99_us", 0) > 0
     failures, _ = compare(baseline, baseline)
     assert failures == []

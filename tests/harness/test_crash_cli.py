@@ -70,9 +70,11 @@ def test_step_summary_escapes_table_metacharacters():
     }
     summary = _step_summary(report)
     row = [line for line in summary.splitlines() if "log.mid_flush" in line][0]
-    # Escaped pipes and truncation keep the row a valid 4-column table row.
+    # Escaped pipes and truncation keep the row a valid 5-column table row
+    # (layer | seed | crash point | hit | result).
+    assert row.startswith("| device |")
     assert "\\|" in row
-    assert row.count("|") - row.count("\\|") == 5
+    assert row.count("|") - row.count("\\|") == 6
     assert "…" in row
 
 

@@ -47,6 +47,9 @@ class FakeHooks:
         self.register(record.key, new)
         return True
 
+    def block_doomed(self, block_key):
+        pass  # these tests never install during a clean
+
     def block_erased(self, block_key):
         self.valid.pop(block_key, None)
 
